@@ -1,0 +1,645 @@
+package hyperhet
+
+// The benchmark harness: one benchmark (or benchmark group) per table and
+// figure of the paper's evaluation, plus ablations of the design choices
+// called out in DESIGN.md and micro-benchmarks of the hot kernels.
+//
+// The table benchmarks execute the same code paths as cmd/wtcbench on
+// reduced scenes; virtual-time results (the tables' content) are attached
+// as custom benchmark metrics (vsec = virtual seconds, speedup, D_all),
+// while the standard ns/op measures the real cost of the simulation
+// itself.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/experiments"
+	"repro/internal/linalg"
+	"repro/internal/morph"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/platform"
+	"repro/internal/scene"
+)
+
+// Shared scenes, generated once.
+var (
+	benchOnce     sync.Once
+	benchAccuracy *scene.Scene // Table 3/4 scene
+	benchTiming   *scene.Scene // Tables 5-7 scene
+	benchTall     *scene.Scene // Table 8 / Figure 2 scene
+)
+
+func benchScenes(b *testing.B) (*scene.Scene, *scene.Scene, *scene.Scene) {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		benchAccuracy, err = scene.Generate(scene.Config{Lines: 96, Samples: 64, Bands: 64, Seed: 20010916})
+		if err != nil {
+			panic(err)
+		}
+		benchTiming, err = scene.Generate(scene.Config{Lines: 256, Samples: 16, Bands: 24, Seed: 20010916})
+		if err != nil {
+			panic(err)
+		}
+		benchTall, err = scene.Generate(scene.Config{Lines: 384, Samples: 16, Bands: 24, Seed: 20010916})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchAccuracy, benchTiming, benchTall
+}
+
+func benchParams(cfg scene.Config) core.Params {
+	return experiments.ScaledParams(core.DefaultParams(), cfg)
+}
+
+// --- Table 3: target detection accuracy + sequential baselines ---------
+
+func BenchmarkTable3_ATDCA(b *testing.B) {
+	sc, _, _ := benchScenes(b)
+	params := benchParams(sc.Config)
+	b.ResetTimer()
+	var vsec float64
+	for i := 0; i < b.N; i++ {
+		rep, err := RunSequential(0.0072, ATDCA, sc.Cube, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsec = rep.WallTime
+	}
+	b.ReportMetric(vsec, "vsec")
+}
+
+func BenchmarkTable3_UFCLS(b *testing.B) {
+	sc, _, _ := benchScenes(b)
+	params := benchParams(sc.Config)
+	b.ResetTimer()
+	var vsec float64
+	for i := 0; i < b.N; i++ {
+		rep, err := RunSequential(0.0072, UFCLS, sc.Cube, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsec = rep.WallTime
+	}
+	b.ReportMetric(vsec, "vsec")
+}
+
+// --- Table 4: classification accuracy + sequential baselines -----------
+
+func benchTable4(b *testing.B, alg Algorithm) {
+	sc, _, _ := benchScenes(b)
+	crop, truth, err := sc.DebrisCrop()
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := benchParams(sc.Config)
+	b.ResetTimer()
+	var overall float64
+	for i := 0; i < b.N; i++ {
+		rep, err := RunSequential(0.0072, alg, crop, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc, err := ClassificationAccuracy(truth, NumClasses, rep.Classification.Labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overall = 100 * acc.Overall
+	}
+	b.ReportMetric(overall, "%acc")
+}
+
+func BenchmarkTable4_PCT(b *testing.B)   { benchTable4(b, PCT) }
+func BenchmarkTable4_MORPH(b *testing.B) { benchTable4(b, MORPH) }
+
+// --- Tables 5-7: the network suite --------------------------------------
+
+// BenchmarkTable5 runs every algorithm variant on every UMD network (the
+// full 32-cell grid of Tables 5-7), one sub-benchmark per cell, reporting
+// the virtual execution time (Table 5), the COM share (Table 6) and the
+// D_all imbalance (Table 7) as metrics.
+func BenchmarkTable5(b *testing.B) {
+	_, sc, _ := benchScenes(b)
+	params := benchParams(sc.Config)
+	for _, alg := range Algorithms {
+		for _, v := range Variants {
+			for _, net := range UMDNetworks() {
+				name := fmt.Sprintf("%s-%s/%s", v, alg, net.Name)
+				b.Run(name, func(b *testing.B) {
+					var rep *RunReport
+					var err error
+					for i := 0; i < b.N; i++ {
+						rep, err = Run(net, alg, v, sc.Cube, params)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(rep.WallTime, "vsec")
+					b.ReportMetric(rep.Com, "vsec_com")
+					b.ReportMetric(rep.DAll, "D_all")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable6_Breakdown measures one representative run per algorithm
+// and reports the full COM/SEQ/PAR decomposition of the master's
+// timeline.
+func BenchmarkTable6_Breakdown(b *testing.B) {
+	_, sc, _ := benchScenes(b)
+	params := benchParams(sc.Config)
+	net := FullyHeterogeneous()
+	for _, alg := range Algorithms {
+		b.Run(string(alg), func(b *testing.B) {
+			var rep *RunReport
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = Run(net, alg, Hetero, sc.Cube, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Com, "vsec_com")
+			b.ReportMetric(rep.Seq, "vsec_seq")
+			b.ReportMetric(rep.Par, "vsec_par")
+		})
+	}
+}
+
+// BenchmarkTable7_Imbalance reports the D_all and D_minus load-balancing
+// rates of the hetero and homo variants on the fully heterogeneous
+// network.
+func BenchmarkTable7_Imbalance(b *testing.B) {
+	_, sc, _ := benchScenes(b)
+	params := benchParams(sc.Config)
+	net := FullyHeterogeneous()
+	for _, alg := range Algorithms {
+		for _, v := range Variants {
+			b.Run(fmt.Sprintf("%s-%s", v, alg), func(b *testing.B) {
+				var rep *RunReport
+				var err error
+				for i := 0; i < b.N; i++ {
+					rep, err = Run(net, alg, v, sc.Cube, params)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(rep.DAll, "D_all")
+				b.ReportMetric(rep.DMinus, "D_minus")
+			})
+		}
+	}
+}
+
+// --- Table 8 / Figure 2: Thunderhead scalability -----------------------
+
+// BenchmarkTable8 runs each algorithm on 1, 16 and 144 Thunderhead nodes,
+// reporting the virtual time per cell.
+func BenchmarkTable8(b *testing.B) {
+	_, _, sc := benchScenes(b)
+	params := benchParams(sc.Config)
+	for _, alg := range Algorithms {
+		for _, p := range []int{1, 16, 144} {
+			b.Run(fmt.Sprintf("%s/cpus=%d", alg, p), func(b *testing.B) {
+				net, err := Thunderhead(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var rep *RunReport
+				for i := 0; i < b.N; i++ {
+					rep, err = Run(net, alg, Hetero, sc.Cube, params)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(rep.WallTime, "vsec")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure2_Speedup reports each algorithm's speedup at 64
+// Thunderhead nodes over its own single-node run — the Figure 2 measure.
+func BenchmarkFigure2_Speedup(b *testing.B) {
+	_, _, sc := benchScenes(b)
+	params := benchParams(sc.Config)
+	for _, alg := range Algorithms {
+		b.Run(string(alg), func(b *testing.B) {
+			one, err := Thunderhead(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			many, err := Thunderhead(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				r1, err := Run(one, alg, Hetero, sc.Cube, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r64, err := Run(many, alg, Hetero, sc.Cube, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = r1.WallTime / r64.WallTime
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// --- Ablations of DESIGN.md design choices ------------------------------
+
+// BenchmarkAblationPartitioning isolates the paper's core claim: the WEA
+// speed-proportional partitioning vs equal shares on the fully
+// heterogeneous network.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	_, sc, _ := benchScenes(b)
+	params := benchParams(sc.Config)
+	net := FullyHeterogeneous()
+	for _, v := range Variants {
+		b.Run(string(v), func(b *testing.B) {
+			var rep *RunReport
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = Run(net, MORPH, v, sc.Cube, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.WallTime, "vsec")
+		})
+	}
+}
+
+// BenchmarkAblationAdaptive compares three schedulers on the fully
+// heterogeneous network: equal shares (no platform knowledge), the
+// measurement-driven adaptive rebalancer (also no platform knowledge),
+// and the WEA oracle that was told the cycle-times.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	_, sc, _ := benchScenes(b)
+	params := benchParams(sc.Config)
+	net := FullyHeterogeneous()
+	b.Run("equal-shares", func(b *testing.B) {
+		var rep *RunReport
+		var err error
+		for i := 0; i < b.N; i++ {
+			rep, err = Run(net, ATDCA, Homo, sc.Cube, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rep.WallTime, "vsec")
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		var rep *AdaptiveReport
+		var err error
+		for i := 0; i < b.N; i++ {
+			rep, err = RunAdaptive(net, sc.Cube, params, AdaptiveOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rep.WallTime, "vsec")
+	})
+	b.Run("wea-oracle", func(b *testing.B) {
+		var rep *RunReport
+		var err error
+		for i := 0; i < b.N; i++ {
+			rep, err = Run(net, ATDCA, Hetero, sc.Cube, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rep.WallTime, "vsec")
+	})
+}
+
+// BenchmarkAblationShrinkingHalo compares the morphological iteration
+// over a worker-sized partition with (MEIRange) and without (MEI) the
+// shrinking-halo optimization: the fixed variant recomputes the full
+// overlap border at every iteration.
+func BenchmarkAblationShrinkingHalo(b *testing.B) {
+	_, _, sc := benchScenes(b)
+	// A worker-like slice: 8 owned lines with a 5-line halo either side.
+	part, err := sc.Cube.Rows(100, 118)
+	if err != nil {
+		b.Fatal(err)
+	}
+	se := morph.Square(1)
+	b.Run("full-halo", func(b *testing.B) {
+		var flops float64
+		for i := 0; i < b.N; i++ {
+			res := morph.MEI(part, se, 5)
+			flops = res.Flops
+		}
+		b.ReportMetric(flops/1e6, "Mflop")
+	})
+	b.Run("shrinking", func(b *testing.B) {
+		var flops float64
+		for i := 0; i < b.N; i++ {
+			res := morph.MEIRange(part, se, 5, 5, 13)
+			flops = res.Flops
+		}
+		b.ReportMetric(flops/1e6, "Mflop")
+	})
+}
+
+// BenchmarkAblationHaloPolicy compares MORPH's two overlap-border
+// policies on shallow Thunderhead partitions: the exact full-reach halo
+// vs the minimal one-radius halo (approximate at partition edges).
+func BenchmarkAblationHaloPolicy(b *testing.B) {
+	_, _, sc := benchScenes(b)
+	params := benchParams(sc.Config)
+	net, err := Thunderhead(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, minimal := range []bool{false, true} {
+		name := "exact"
+		if minimal {
+			name = "minimal"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := params
+			p.Morph.MinimalHalo = minimal
+			var rep *RunReport
+			for i := 0; i < b.N; i++ {
+				rep, err = Run(net, MORPH, Hetero, sc.Cube, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.WallTime, "vsec")
+		})
+	}
+}
+
+// BenchmarkAblationMemoryBound exercises WEA's step 3b: one very fast
+// processor with a memory bound that cannot hold its speed-proportional
+// share, forcing recursive redistribution; compared against the same
+// platform with ample memory.
+func BenchmarkAblationMemoryBound(b *testing.B) {
+	sc, _, _ := benchScenes(b) // the wide accuracy scene: ~24 KB per line
+	params := benchParams(sc.Config)
+	build := func(fastMemMB int) *Network {
+		procs := []Processor{
+			{ID: 1, CycleTime: 0.002, MemoryMB: fastMemMB},
+			{ID: 2, CycleTime: 0.01, MemoryMB: 2048},
+			{ID: 3, CycleTime: 0.01, MemoryMB: 2048},
+			{ID: 4, CycleTime: 0.01, MemoryMB: 2048},
+		}
+		links := make([][]float64, 4)
+		for i := range links {
+			links[i] = make([]float64, 4)
+			for j := range links[i] {
+				if i != j {
+					links[i][j] = 20
+				}
+			}
+		}
+		net, err := platform.New("memory-bound", procs, links, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return net
+	}
+	// At ~24 KB per line, a 1 MB bound caps the fast processor at ~21 of
+	// the 96 lines — far below its speed-proportional ~60% share — so
+	// WEA's recursive redistribution (step 3b) pushes the excess onto
+	// the slower processors and the run slows down.
+	for _, cfg := range []struct {
+		name  string
+		memMB int
+	}{{"ample-memory", 2048}, {"fast-node-starved", 1}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			net := build(cfg.memMB)
+			var rep *RunReport
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = Run(net, ATDCA, Hetero, sc.Cube, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.WallTime, "vsec")
+		})
+	}
+}
+
+// BenchmarkAblationFCLSForm compares dense Lawson-Hanson against the
+// Gram-form solver used in the UFCLS hot loop.
+func BenchmarkAblationFCLSForm(b *testing.B) {
+	sc, _, _ := benchScenes(b)
+	bands, t := sc.Cube.Bands, 12
+	m := linalg.NewMat(bands, t)
+	for j := 0; j < t; j++ {
+		for i := 0; i < bands; i++ {
+			m.Set(i, j, float64(sc.Cube.PixelAt(j * 31)[i]))
+		}
+	}
+	y := make([]float64, bands)
+	for i := range y {
+		y[i] = float64(sc.Cube.PixelAt(4242)[i])
+	}
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := linalg.FCLS(m, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gram", func(b *testing.B) {
+		solver := linalg.NewFCLSSolver(m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solver.Unmix(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationOSPForm compares the paper's dense N x N projector
+// application against the factored O(tN) form.
+func BenchmarkAblationOSPForm(b *testing.B) {
+	sc, _, _ := benchScenes(b)
+	bands, t := sc.Cube.Bands, 9
+	u := linalg.NewMat(t, bands)
+	for i := 0; i < t; i++ {
+		for j := 0; j < bands; j++ {
+			u.Set(i, j, float64(sc.Cube.PixelAt(i * 97)[j]))
+		}
+	}
+	proj, err := linalg.NewOSP(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pixel := sc.Cube.PixelAt(1234)
+	y := make([]float64, bands)
+	for i, v := range pixel {
+		y[i] = float64(v)
+	}
+	b.Run("dense", func(b *testing.B) {
+		dense := proj.Dense()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			linalg.DenseScore(dense, pixel)
+		}
+	})
+	b.Run("factored", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			proj.Apply(y, nil)
+		}
+	})
+}
+
+// BenchmarkAblationPartitionAxis quantifies Section 2.1's argument for
+// the hybrid spatial partitioning: the same brightest-pixel query under
+// spatial-domain decomposition (one candidate per processor) vs
+// spectral-domain decomposition (per-pixel partial results combined
+// across all processors). The vsec_com metric is the master's
+// communication time.
+func BenchmarkAblationPartitionAxis(b *testing.B) {
+	_, sc, _ := benchScenes(b)
+	params := benchParams(sc.Config)
+	net := FullyHomogeneous()
+	runOnce := func(spectral bool) (float64, float64) {
+		world := mpi.NewWorld(net)
+		world.SetComputeScale(params.WorkScale)
+		world.SetDataScale(params.DataScale)
+		res, err := world.Run(func(c *mpi.Comm) any {
+			var data *cube.Cube
+			if c.Root() {
+				data = sc.Cube
+			}
+			var err error
+			if spectral {
+				_, _, err = algo.BrightestSpectralPartition(c, data)
+			} else {
+				_, _, err = algo.BrightestSpatialPartition(c, data, partition.Heterogeneous{})
+			}
+			if err != nil {
+				panic(err)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		com, _, _ := res.RootBreakdown()
+		return com, res.WallTime()
+	}
+	b.Run("spatial-hybrid", func(b *testing.B) {
+		var com, wall float64
+		for i := 0; i < b.N; i++ {
+			com, wall = runOnce(false)
+		}
+		b.ReportMetric(com, "vsec_com")
+		b.ReportMetric(wall, "vsec")
+	})
+	b.Run("spectral-domain", func(b *testing.B) {
+		var com, wall float64
+		for i := 0; i < b.N; i++ {
+			com, wall = runOnce(true)
+		}
+		b.ReportMetric(com, "vsec_com")
+		b.ReportMetric(wall, "vsec")
+	})
+}
+
+// --- Micro-benchmarks of the hot kernels --------------------------------
+
+func BenchmarkKernelSAD(b *testing.B) {
+	sc, _, _ := benchScenes(b)
+	x := sc.Cube.PixelAt(10)
+	y := sc.Cube.PixelAt(4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SAD(x, y)
+	}
+}
+
+func BenchmarkKernelMEI(b *testing.B) {
+	_, sc, _ := benchScenes(b)
+	part, err := sc.Cube.Rows(0, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	se := morph.Square(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		morph.MEI(part, se, 2)
+	}
+}
+
+func BenchmarkKernelCovariance(b *testing.B) {
+	sc, _, _ := benchScenes(b)
+	params := algo.DefaultPCTParams()
+	_ = params
+	mean := sc.Cube.MeanVector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mean
+		// One covariance accumulation pass over a 32-line slab.
+		slab, err := sc.Cube.Rows(0, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc := linalg.NewMat(slab.Bands, slab.Bands)
+		d := make([]float64, slab.Bands)
+		for p := 0; p < slab.NumPixels(); p++ {
+			v := slab.PixelAt(p)
+			for k := 0; k < slab.Bands; k++ {
+				d[k] = float64(v[k]) - mean[k]
+			}
+			for r := 0; r < slab.Bands; r++ {
+				row := acc.Row(r)
+				dr := d[r]
+				for cidx := r; cidx < slab.Bands; cidx++ {
+					row[cidx] += dr * d[cidx]
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkKernelSceneGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scene.Generate(scene.Config{Lines: 48, Samples: 32, Bands: 32, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelCubeIO(b *testing.B) {
+	f := cube.MustNew(64, 64, 32)
+	for i := range f.Data {
+		f.Data[i] = float32(i % 251)
+	}
+	dir := b.TempDir()
+	path := dir + "/bench.hc"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Save(path); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cube.Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

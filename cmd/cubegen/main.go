@@ -1,0 +1,101 @@
+// Command cubegen generates a synthetic AVIRIS-like World Trade Center
+// scene and writes it to disk in the repository's simplified ENVI-style
+// format, together with a ground-truth sidecar (JSON) holding the planted
+// hot spots and the debris class map.
+//
+// Usage:
+//
+//	cubegen -o scene.hc [-lines N] [-samples N] [-bands N] [-seed N] [-snr dB]
+//	        [-format hc|envi] [-interleave bip|bil|bsq] [-quicklook fig1.ppm]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	hyperhet "repro"
+)
+
+// truthSidecar is the JSON document written next to the cube.
+type truthSidecar struct {
+	Lines, Samples, Bands int
+	Seed                  int64
+	HotSpots              []hotSpotJSON
+	ClassNames            []string
+	// ClassMap is the per-pixel debris class (-1 background), row-major.
+	ClassMap []int
+}
+
+type hotSpotJSON struct {
+	Label        string
+	Line, Sample int
+	TempF        float64
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "scene.hc", "output cube path (+ .truth.json sidecar)")
+		lines   = flag.Int("lines", 144, "spatial rows")
+		samples = flag.Int("samples", 96, "spatial columns")
+		bands   = flag.Int("bands", 64, "spectral bands")
+		seed    = flag.Int64("seed", 20010916, "generator seed")
+		snr     = flag.Float64("snr", 0, "per-band SNR in dB (0 = default)")
+		format  = flag.String("format", "hc", "output format: hc (single file) or envi (hdr+img pair)")
+		il      = flag.String("interleave", "bip", "ENVI interleave: bip, bil or bsq")
+		look    = flag.String("quicklook", "", "also write a Figure-1-style false-color PPM to this path")
+	)
+	flag.Parse()
+
+	cfg := hyperhet.SceneConfig{
+		Lines: *lines, Samples: *samples, Bands: *bands,
+		Seed: *seed, SNRdB: *snr,
+	}
+	sc, err := hyperhet.GenerateScene(cfg)
+	exitOn(err)
+	switch *format {
+	case "hc":
+		exitOn(sc.Cube.Save(*out))
+	case "envi":
+		base := strings.TrimSuffix(*out, ".hc")
+		exitOn(hyperhet.SaveENVI(sc.Cube, base, hyperhet.Interleave(*il)))
+		fmt.Printf("wrote %s.hdr + %s.img (%s)\n", base, base, *il)
+	default:
+		exitOn(fmt.Errorf("unknown format %q", *format))
+	}
+
+	truth := truthSidecar{
+		Lines: *lines, Samples: *samples, Bands: *bands, Seed: *seed,
+		ClassNames: append([]string(nil), hyperhet.ClassNames...),
+		ClassMap:   sc.Truth.ClassMap,
+	}
+	for _, h := range sc.Truth.HotSpots {
+		truth.HotSpots = append(truth.HotSpots, hotSpotJSON{
+			Label: h.Label, Line: h.Line, Sample: h.Sample, TempF: h.TempF,
+		})
+	}
+	if *look != "" {
+		exitOn(hyperhet.SaveQuicklook(*look, sc.Cube))
+		fmt.Printf("wrote %s (false-color quicklook)\n", *look)
+	}
+
+	blob, err := json.MarshalIndent(truth, "", "  ")
+	exitOn(err)
+	exitOn(os.WriteFile(*out+".truth.json", blob, 0o644))
+
+	stats := sc.Cube.ComputeStats()
+	fmt.Printf("wrote %s: %dx%dx%d (%.1f MB), reflectance %.3f..%.3f\n",
+		*out, *lines, *samples, *bands,
+		float64(sc.Cube.SizeBytes())/(1<<20), stats.Min, stats.Max)
+	fmt.Printf("wrote %s.truth.json: %d hot spots, %d debris classes\n",
+		*out, len(truth.HotSpots), len(truth.ClassNames))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cubegen:", err)
+		os.Exit(1)
+	}
+}

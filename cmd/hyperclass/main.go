@@ -1,0 +1,146 @@
+// Command hyperclass runs an unsupervised classifier (PCT or MORPH) on a
+// hyperspectral cube file, optionally on a simulated parallel platform,
+// and prints the class populations with the run's virtual-time
+// performance figures. With a ground-truth sidecar (see cubegen) it also
+// scores the classification.
+//
+// Usage:
+//
+//	hyperclass -in scene.hc [-algorithm pct|morph] [-classes N]
+//	           [-net sequential|fully-het|fully-homo|part-het|part-homo|thunderhead]
+//	           [-cpus N] [-variant hetero|homo] [-truth scene.hc.truth.json]
+//
+// The input may be the repository's single-file format or an ENVI .hdr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	hyperhet "repro"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input cube file (required)")
+		algName = flag.String("algorithm", "morph", "pct or morph")
+		classes = flag.Int("classes", 7, "number of classes c")
+		netName = flag.String("net", "sequential", "platform: sequential, fully-het, fully-homo, part-het, part-homo, thunderhead")
+		cpus    = flag.Int("cpus", 16, "node count for -net thunderhead")
+		variant = flag.String("variant", "hetero", "partitioning: hetero (WEA) or homo (equal shares)")
+		truthIn = flag.String("truth", "", "ground-truth sidecar JSON for accuracy scoring")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := loadCube(*in)
+	exitOn(err)
+
+	var alg hyperhet.Algorithm
+	switch strings.ToLower(*algName) {
+	case "pct":
+		alg = hyperhet.PCT
+	case "morph":
+		alg = hyperhet.MORPH
+	default:
+		exitOn(fmt.Errorf("unknown algorithm %q (want pct or morph)", *algName))
+	}
+	params := hyperhet.DefaultParams()
+	params.PCT.Classes = *classes
+	params.Morph.Classes = *classes
+
+	var rep *hyperhet.RunReport
+	if strings.EqualFold(*netName, "sequential") {
+		rep, err = hyperhet.RunSequential(0.0072, alg, f, params)
+	} else {
+		var net *hyperhet.Network
+		net, err = parseNet(*netName, *cpus)
+		exitOn(err)
+		var v hyperhet.Variant
+		v, err = parseVariant(*variant)
+		exitOn(err)
+		rep, err = hyperhet.Run(net, alg, v, f, params)
+	}
+	exitOn(err)
+
+	fmt.Printf("%s/%s on %s (%d processors)\n", rep.Algorithm, rep.Variant, rep.Network, rep.Procs)
+	fmt.Printf("virtual time %.2f s (COM %.2f, SEQ %.2f, PAR %.2f)\n",
+		rep.WallTime, rep.Com, rep.Seq, rep.Par)
+	counts := make([]int, len(rep.Classification.Classes))
+	for _, lab := range rep.Classification.Labels {
+		counts[lab]++
+	}
+	fmt.Printf("%d classes:\n", len(counts))
+	for k, n := range counts {
+		fmt.Printf("  class %d: %d pixels (%.1f%%)\n", k, n,
+			100*float64(n)/float64(len(rep.Classification.Labels)))
+	}
+
+	if *truthIn != "" {
+		blob, err := os.ReadFile(*truthIn)
+		exitOn(err)
+		var truth struct {
+			ClassNames []string
+			ClassMap   []int
+		}
+		exitOn(json.Unmarshal(blob, &truth))
+		acc, err := hyperhet.ClassificationAccuracy(truth.ClassMap, len(truth.ClassNames), rep.Classification.Labels)
+		exitOn(err)
+		fmt.Printf("accuracy vs ground truth: %.2f%% overall\n", 100*acc.Overall)
+		for k, v := range acc.PerClass {
+			name := fmt.Sprintf("class %d", k)
+			if k < len(truth.ClassNames) {
+				name = truth.ClassNames[k]
+			}
+			fmt.Printf("  %-26s %.2f%%\n", name, 100*v)
+		}
+	}
+}
+
+func parseVariant(s string) (hyperhet.Variant, error) {
+	switch strings.ToLower(s) {
+	case "hetero":
+		return hyperhet.Hetero, nil
+	case "homo":
+		return hyperhet.Homo, nil
+	}
+	return "", fmt.Errorf("unknown variant %q (want hetero or homo)", s)
+}
+
+func parseNet(s string, cpus int) (*hyperhet.Network, error) {
+	switch strings.ToLower(s) {
+	case "fully-het":
+		return hyperhet.FullyHeterogeneous(), nil
+	case "fully-homo":
+		return hyperhet.FullyHomogeneous(), nil
+	case "part-het":
+		return hyperhet.PartiallyHeterogeneous(), nil
+	case "part-homo":
+		return hyperhet.PartiallyHomogeneous(), nil
+	case "thunderhead":
+		return hyperhet.Thunderhead(cpus)
+	}
+	return nil, fmt.Errorf("unknown platform %q", s)
+}
+
+// loadCube reads either the repository's single-file format or an ENVI
+// header/data pair (by .hdr suffix).
+func loadCube(path string) (*hyperhet.Cube, error) {
+	if strings.HasSuffix(strings.ToLower(path), ".hdr") {
+		c, _, err := hyperhet.LoadENVI(path)
+		return c, err
+	}
+	return hyperhet.LoadCube(path)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyperclass:", err)
+		os.Exit(1)
+	}
+}

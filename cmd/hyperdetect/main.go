@@ -1,0 +1,121 @@
+// Command hyperdetect runs a target detection algorithm (ATDCA or UFCLS)
+// on a hyperspectral cube file, optionally on a simulated parallel
+// platform, and prints the detected targets with the run's virtual-time
+// performance figures.
+//
+// Usage:
+//
+//	hyperdetect -in scene.hc [-algorithm atdca|ufcls] [-targets N]
+//	            [-net sequential|fully-het|fully-homo|part-het|part-homo|thunderhead]
+//	            [-cpus N] [-variant hetero|homo] [-trace]
+//
+// The input may be the repository's single-file format or an ENVI .hdr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	hyperhet "repro"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input cube file (required)")
+		algName = flag.String("algorithm", "atdca", "atdca or ufcls")
+		targets = flag.Int("targets", 18, "number of targets t")
+		netName = flag.String("net", "sequential", "platform: sequential, fully-het, fully-homo, part-het, part-homo, thunderhead")
+		cpus    = flag.Int("cpus", 16, "node count for -net thunderhead")
+		variant = flag.String("variant", "hetero", "partitioning: hetero (WEA) or homo (equal shares)")
+		trace   = flag.Bool("trace", false, "print a per-processor activity timeline of the run")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := loadCube(*in)
+	exitOn(err)
+
+	var alg hyperhet.Algorithm
+	switch strings.ToLower(*algName) {
+	case "atdca":
+		alg = hyperhet.ATDCA
+	case "ufcls":
+		alg = hyperhet.UFCLS
+	default:
+		exitOn(fmt.Errorf("unknown algorithm %q (want atdca or ufcls)", *algName))
+	}
+	v, err := parseVariant(*variant)
+	exitOn(err)
+	params := hyperhet.DefaultParams()
+	params.Targets = *targets
+	params.Trace = *trace
+
+	var rep *hyperhet.RunReport
+	if strings.EqualFold(*netName, "sequential") {
+		rep, err = hyperhet.RunSequential(0.0072, alg, f, params)
+	} else {
+		var net *hyperhet.Network
+		net, err = parseNet(*netName, *cpus)
+		exitOn(err)
+		rep, err = hyperhet.Run(net, alg, v, f, params)
+	}
+	exitOn(err)
+
+	fmt.Printf("%s/%s on %s (%d processors)\n", rep.Algorithm, rep.Variant, rep.Network, rep.Procs)
+	fmt.Printf("virtual time %.2f s (COM %.2f, SEQ %.2f, PAR %.2f), imbalance D_all=%.2f D_minus=%.2f\n",
+		rep.WallTime, rep.Com, rep.Seq, rep.Par, rep.DAll, rep.DMinus)
+	if rep.Timeline != "" {
+		fmt.Println(rep.Timeline)
+	}
+	fmt.Printf("%-4s %-6s %-7s %s\n", "#", "line", "sample", "score")
+	for i, tg := range rep.Detection.Targets {
+		fmt.Printf("%-4d %-6d %-7d %.5f\n", i+1, tg.Line, tg.Sample, tg.Score)
+	}
+}
+
+func parseVariant(s string) (hyperhet.Variant, error) {
+	switch strings.ToLower(s) {
+	case "hetero":
+		return hyperhet.Hetero, nil
+	case "homo":
+		return hyperhet.Homo, nil
+	}
+	return "", fmt.Errorf("unknown variant %q (want hetero or homo)", s)
+}
+
+func parseNet(s string, cpus int) (*hyperhet.Network, error) {
+	switch strings.ToLower(s) {
+	case "fully-het":
+		return hyperhet.FullyHeterogeneous(), nil
+	case "fully-homo":
+		return hyperhet.FullyHomogeneous(), nil
+	case "part-het":
+		return hyperhet.PartiallyHeterogeneous(), nil
+	case "part-homo":
+		return hyperhet.PartiallyHomogeneous(), nil
+	case "thunderhead":
+		return hyperhet.Thunderhead(cpus)
+	}
+	return nil, fmt.Errorf("unknown platform %q", s)
+}
+
+// loadCube reads either the repository's single-file format or an ENVI
+// header/data pair (by .hdr suffix).
+func loadCube(path string) (*hyperhet.Cube, error) {
+	if strings.HasSuffix(strings.ToLower(path), ".hdr") {
+		c, _, err := hyperhet.LoadENVI(path)
+		return c, err
+	}
+	return hyperhet.LoadCube(path)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyperdetect:", err)
+		os.Exit(1)
+	}
+}

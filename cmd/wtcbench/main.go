@@ -1,0 +1,130 @@
+// Command wtcbench regenerates the evaluation of Plaza (CLUSTER 2006):
+// every table (1-8) and Figure 2, printed in the paper's layout.
+//
+// Usage:
+//
+//	wtcbench [-table N] [-figure 2] [-all] [-seed N]
+//
+// With no selection flags, -all is assumed. Tables 1-2 are platform
+// descriptions; Tables 3-4 run the accuracy studies on the synthetic WTC
+// scene; Tables 5-7 run the 32-run network suite; Table 8 and Figure 2
+// run the Thunderhead scalability study (the slowest part, around half a
+// minute). All timings are virtual seconds from the platform cost model
+// and deterministic for a given seed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	hyperhet "repro"
+)
+
+func main() {
+	var (
+		tableN = flag.Int("table", 0, "print one table (1..8)")
+		figure = flag.Int("figure", 0, "print one figure (2)")
+		all    = flag.Bool("all", false, "print every table and figure")
+		seed   = flag.Int64("seed", 0, "override the scene seed (0 keeps the default)")
+		quiet  = flag.Bool("quiet", false, "suppress progress notes on stderr")
+		asJSON = flag.Bool("json", false, "emit one JSON document with every computed result instead of text tables")
+	)
+	flag.Parse()
+	if *tableN == 0 && *figure == 0 {
+		*all = true
+	}
+	cfg := hyperhet.DefaultExperimentConfig()
+	if *seed != 0 {
+		cfg.AccuracyScene.Seed = *seed
+		cfg.TimingScene.Seed = *seed
+		cfg.ThunderheadScene.Seed = *seed
+	}
+	progress := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	want := func(n int) bool { return *all || *tableN == n }
+
+	// results accumulates everything computed for -json output.
+	results := map[string]any{}
+
+	if want(1) && !*asJSON {
+		fmt.Println(hyperhet.RenderTable1())
+	}
+	if want(2) && !*asJSON {
+		fmt.Println(hyperhet.RenderTable2())
+	}
+	if want(3) {
+		progress("running Table 3 (target detection accuracy)...")
+		start := time.Now()
+		r, err := hyperhet.Table3(cfg)
+		exitOn(err)
+		progress("  done in %v", time.Since(start).Round(time.Millisecond))
+		results["table3"] = r
+		if !*asJSON {
+			fmt.Println(hyperhet.RenderTable3(r))
+		}
+	}
+	if want(4) {
+		progress("running Table 4 (classification accuracy)...")
+		start := time.Now()
+		r, err := hyperhet.Table4(cfg)
+		exitOn(err)
+		progress("  done in %v", time.Since(start).Round(time.Millisecond))
+		results["table4"] = r
+		if !*asJSON {
+			fmt.Println(hyperhet.RenderTable4(r))
+		}
+	}
+	if want(5) || want(6) || want(7) {
+		progress("running the network suite (Tables 5-7, 32 runs)...")
+		start := time.Now()
+		suite, err := hyperhet.NetworkSuite(cfg)
+		exitOn(err)
+		progress("  done in %v", time.Since(start).Round(time.Millisecond))
+		results["network_suite"] = suite
+		if !*asJSON {
+			if want(5) {
+				fmt.Println(hyperhet.RenderTable5(suite))
+			}
+			if want(6) {
+				fmt.Println(hyperhet.RenderTable6(suite))
+			}
+			if want(7) {
+				fmt.Println(hyperhet.RenderTable7(suite))
+			}
+		}
+	}
+	if want(8) || *all || *figure == 2 {
+		progress("running the Thunderhead study (Table 8, Figure 2, 36 runs)...")
+		start := time.Now()
+		th, err := hyperhet.ThunderheadStudy(cfg)
+		exitOn(err)
+		progress("  done in %v", time.Since(start).Round(time.Millisecond))
+		results["thunderhead"] = th
+		if !*asJSON {
+			if want(8) {
+				fmt.Println(hyperhet.RenderTable8(th))
+			}
+			if *all || *figure == 2 {
+				fmt.Println(hyperhet.RenderFigure2(th))
+			}
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(results))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wtcbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+package hyperhet_test
+
+import (
+	"fmt"
+	"log"
+
+	hyperhet "repro"
+)
+
+// ExampleRun demonstrates the core workflow: generate a scene, pick a
+// platform, run an algorithm, read the report. The virtual-time model is
+// deterministic, so the output is stable.
+func ExampleRun() {
+	sc, err := hyperhet.GenerateScene(hyperhet.SceneConfig{
+		Lines: 36, Samples: 28, Bands: 16, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := hyperhet.DefaultParams()
+	params.Targets = 4
+	rep, err := hyperhet.Run(hyperhet.FullyHeterogeneous(),
+		hyperhet.ATDCA, hyperhet.Hetero, sc.Cube, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s/%s on %s: %d targets on %d processors\n",
+		rep.Algorithm, rep.Variant, rep.Network,
+		len(rep.Detection.Targets), rep.Procs)
+	// Output:
+	// ATDCA/Hetero on fully-heterogeneous: 4 targets on 16 processors
+}
+
+// ExampleDetectionScores shows how detections are scored against the
+// planted ground truth (the Table 3 measure).
+func ExampleDetectionScores() {
+	sc, err := hyperhet.GenerateScene(hyperhet.SceneConfig{
+		Lines: 64, Samples: 48, Bands: 32, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := hyperhet.DefaultParams()
+	params.Targets = 15
+	rep, err := hyperhet.RunSequential(0.0072, hyperhet.ATDCA, sc.Cube, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scores := hyperhet.DetectionScores(sc, rep.Detection)
+	hits := 0
+	for _, label := range hyperhet.HotSpotLabels {
+		if scores[label] < 0.01 {
+			hits++
+		}
+	}
+	fmt.Printf("hot spots pinned exactly: %d of %d\n", hits, len(hyperhet.HotSpotLabels))
+	// Output:
+	// hot spots pinned exactly: 7 of 7
+}
+
+// ExampleThunderhead runs the same algorithm on two cluster sizes and
+// reports the speedup (the Figure 2 measure).
+func ExampleThunderhead() {
+	sc, err := hyperhet.GenerateScene(hyperhet.SceneConfig{
+		Lines: 64, Samples: 16, Bands: 16, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := hyperhet.ScaledParams(hyperhet.DefaultParams(), sc.Config)
+	params.Targets = 6
+	var times [2]float64
+	for i, p := range []int{1, 16} {
+		net, err := hyperhet.Thunderhead(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := hyperhet.Run(net, hyperhet.ATDCA, hyperhet.Hetero, sc.Cube, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		times[i] = rep.WallTime
+	}
+	fmt.Printf("speedup at 16 nodes: %.1fx\n", times[0]/times[1])
+	// Output:
+	// speedup at 16 nodes: 16.0x
+}

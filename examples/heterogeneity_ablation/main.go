@@ -1,0 +1,55 @@
+// Heterogeneity ablation: the Table 5 story in miniature. Runs one
+// algorithm with both partitioning strategies across all four evaluation
+// networks and shows (a) how the WEA adapts each processor's share to its
+// speed, and (b) what ignoring heterogeneity costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hyperhet "repro"
+)
+
+func main() {
+	sc, err := hyperhet.GenerateScene(hyperhet.SceneConfig{
+		Lines: 384, Samples: 24, Bands: 32, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := hyperhet.ScaledParams(hyperhet.DefaultParams(),
+		hyperhet.SceneConfig{Lines: 384, Samples: 24, Bands: 32})
+	params.Targets = 12
+
+	// Part (a): the workload estimation algorithm's shares on the fully
+	// heterogeneous network. Speed-proportional: the Athlon at 0.0026
+	// s/Mflop gets ~17x the rows of the UltraSparc at 0.0451.
+	fmt.Println("WEA shares on the fully heterogeneous network (speed-proportional):")
+	het := hyperhet.FullyHeterogeneous()
+	var speedSum float64
+	for _, p := range het.Procs {
+		speedSum += p.Speed()
+	}
+	for _, p := range het.Procs {
+		share := p.Speed() / speedSum
+		fmt.Printf("  p%-2d cycle-time %.4f -> %5.1f%% of the rows\n", p.ID, p.CycleTime, 100*share)
+	}
+
+	// Part (b): execution time of both variants on every network.
+	fmt.Printf("\n%-26s %14s %14s %8s\n", "network", "Hetero (s)", "Homo (s)", "ratio")
+	for _, net := range hyperhet.UMDNetworks() {
+		hetRep, err := hyperhet.Run(net, hyperhet.ATDCA, hyperhet.Hetero, sc.Cube, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		homRep, err := hyperhet.Run(net, hyperhet.ATDCA, hyperhet.Homo, sc.Cube, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %14.2f %14.2f %7.1fx\n",
+			net.Name, hetRep.WallTime, homRep.WallTime, homRep.WallTime/hetRep.WallTime)
+	}
+	fmt.Println("\nthe equal-share version pays the slowest processor's bill on any")
+	fmt.Println("heterogeneous platform; WEA stays near-optimal everywhere (Table 5).")
+}

@@ -1,0 +1,56 @@
+// WTC target detection: the Table 3 story. Runs both target detection
+// algorithms on the synthetic World Trade Center scene and compares how
+// well each recovers the seven planted thermal hot spots ('A'..'G',
+// 700-1300 F).
+//
+// The expected outcome mirrors the paper: ATDCA (orthogonal subspace
+// projections) pins every hot spot almost exactly, while the error-driven
+// UFCLS spends its target budget on pixels the fully constrained mixture
+// model cannot explain — deep shadows and turbulent smoke-plume pixels —
+// and misses the faint 700 F spot 'F'.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hyperhet "repro"
+)
+
+func main() {
+	fmt.Println("generating the synthetic WTC scene (144x96, 64 bands)...")
+	sc, err := hyperhet.GenerateScene(hyperhet.DefaultSceneConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// t = 18 targets as in the paper; scaled so virtual times reflect the
+	// full 2133x512x224 problem.
+	params := hyperhet.ScaledParams(hyperhet.DefaultParams(), hyperhet.DefaultSceneConfig())
+
+	fmt.Println("running sequential ATDCA and UFCLS (t=18)...")
+	atdca, err := hyperhet.RunSequential(0.0072, hyperhet.ATDCA, sc.Cube, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ufcls, err := hyperhet.RunSequential(0.0072, hyperhet.UFCLS, sc.Cube, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sa := hyperhet.DetectionScores(sc, atdca.Detection)
+	su := hyperhet.DetectionScores(sc, ufcls.Detection)
+
+	fmt.Printf("\nhot spot  temp(F)  ATDCA SAD  UFCLS SAD\n")
+	for _, h := range sc.Truth.HotSpots {
+		verdict := ""
+		if su[h.Label] > 0.05 {
+			verdict = "  <- missed by UFCLS"
+		}
+		fmt.Printf("   %s      %4.0f     %.4f     %.4f%s\n",
+			h.Label, h.TempF, sa[h.Label], su[h.Label], verdict)
+	}
+	fmt.Printf("\nsingle-processor virtual times: ATDCA %.0f s, UFCLS %.0f s\n",
+		atdca.WallTime, ufcls.WallTime)
+	fmt.Println("(as in the paper, the dense-projector ATDCA costs more per round)")
+}

@@ -1,0 +1,297 @@
+// Package hyperhet is a Go reproduction of "Heterogeneous Parallel
+// Computing in Remote Sensing Applications: Current Trends and Future
+// Perspectives" (A. Plaza, IEEE CLUSTER 2006): heterogeneity-aware
+// parallel algorithms for target detection (ATDCA, UFCLS) and
+// unsupervised classification (PCT, MORPH) of hyperspectral imagery,
+// together with the simulated heterogeneous platforms, the message-
+// passing substrate and the experiment drivers that regenerate every
+// table and figure of the paper's evaluation.
+//
+// The package is a facade over the internal packages; see README.md for a
+// tour and DESIGN.md for the architecture.
+//
+// # Quick start
+//
+//	sc, err := hyperhet.GenerateScene(hyperhet.DefaultSceneConfig())
+//	if err != nil { ... }
+//	net := hyperhet.FullyHeterogeneous()
+//	rep, err := hyperhet.Run(net, hyperhet.ATDCA, hyperhet.Hetero, sc.Cube, hyperhet.DefaultParams())
+//	if err != nil { ... }
+//	fmt.Printf("found %d targets in %.1f virtual seconds\n",
+//	    len(rep.Detection.Targets), rep.WallTime)
+package hyperhet
+
+import (
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/scene"
+	"repro/internal/spectral"
+)
+
+// Core data types.
+type (
+	// Cube is a hyperspectral image cube (lines x samples x bands,
+	// band-interleaved-by-pixel).
+	Cube = cube.Cube
+	// Scene is a synthetic AVIRIS-like scene with ground truth.
+	Scene = scene.Scene
+	// SceneConfig parameterizes scene generation.
+	SceneConfig = scene.Config
+	// GroundTruth carries hot-spot and class-map truth for scoring.
+	GroundTruth = scene.GroundTruth
+	// HotSpot is one planted thermal target.
+	HotSpot = scene.HotSpot
+	// Network is a parallel platform description.
+	Network = platform.Network
+	// Processor is one machine of a platform.
+	Processor = platform.Processor
+)
+
+// Algorithms, variants and parameters.
+type (
+	// Algorithm names one of the paper's four analysis algorithms.
+	Algorithm = core.Algorithm
+	// Variant selects heterogeneous (WEA) or homogeneous partitioning.
+	Variant = core.Variant
+	// Params bundles the per-algorithm parameters.
+	Params = core.Params
+	// PCTParams configures the PCT classifier.
+	PCTParams = algo.PCTParams
+	// MorphParams configures the morphological classifier.
+	MorphParams = algo.MorphParams
+	// DetectionParams configures the target detectors.
+	DetectionParams = algo.DetectionParams
+	// RunReport is the outcome of one simulated run.
+	RunReport = core.RunReport
+	// DetectionResult is the output of ATDCA or UFCLS.
+	DetectionResult = algo.DetectionResult
+	// ClassificationResult is the output of PCT or MORPH.
+	ClassificationResult = algo.ClassificationResult
+	// Target is one detected target pixel.
+	Target = algo.Target
+	// Accuracy reports classification quality against ground truth.
+	Accuracy = metrics.Accuracy
+)
+
+// The four algorithms of the paper, and the two partitioning variants.
+const (
+	ATDCA  = core.ATDCA
+	UFCLS  = core.UFCLS
+	PCT    = core.PCT
+	MORPH  = core.MORPH
+	Hetero = core.Hetero
+	Homo   = core.Homo
+)
+
+// Algorithms lists the four algorithms in the paper's table order.
+var Algorithms = core.Algorithms
+
+// Variants lists both partitioning variants.
+var Variants = core.Variants
+
+// Scenes.
+
+// ClassNames are the seven USGS dust/debris classes of Table 4.
+var ClassNames = scene.ClassNames
+
+// HotSpotLabels are the thermal hot spots A-G of Fig. 1.
+var HotSpotLabels = scene.HotSpotLabels
+
+// NumClasses is the paper's c=7 debris classes.
+const NumClasses = scene.NumClasses
+
+// GenerateScene builds a synthetic AVIRIS-like World Trade Center scene
+// with ground truth.
+func GenerateScene(cfg SceneConfig) (*Scene, error) { return scene.Generate(cfg) }
+
+// DefaultSceneConfig is the reduced-resolution analogue of the paper's
+// AVIRIS scene used by the experiment drivers.
+func DefaultSceneConfig() SceneConfig { return scene.WTCDefault() }
+
+// FullSceneConfig is the paper's full 2133x512x224 geometry (expensive).
+func FullSceneConfig() SceneConfig { return scene.WTCFull() }
+
+// LoadCube reads a cube from the repository's single-file format.
+func LoadCube(path string) (*Cube, error) { return cube.Load(path) }
+
+// Interleave names a sample ordering (BIP, BIL, BSQ).
+type Interleave = cube.Interleave
+
+// The three standard sample orderings.
+const (
+	BIP = cube.BIP
+	BIL = cube.BIL
+	BSQ = cube.BSQ
+)
+
+// ENVIHeader is the subset of ENVI header fields the loader handles.
+type ENVIHeader = cube.ENVIHeader
+
+// LoadENVI reads an ENVI header/data pair (the format AVIRIS products and
+// most hyperspectral toolchains use) into a cube.
+func LoadENVI(hdrPath string) (*Cube, *ENVIHeader, error) { return cube.LoadENVI(hdrPath) }
+
+// SaveENVI writes the cube as an ENVI pair (basePath.hdr + basePath.img).
+func SaveENVI(c *Cube, basePath string, il Interleave) error { return c.SaveENVI(basePath, il) }
+
+// SaveQuicklook writes the Figure 1 false-color composite (1682/1107/655
+// nm to RGB, percentile-stretched) as a PPM image.
+func SaveQuicklook(path string, c *Cube) error { return scene.SaveQuicklook(path, c) }
+
+// NewCube allocates a zero-filled cube.
+func NewCube(lines, samples, bands int) (*Cube, error) { return cube.New(lines, samples, bands) }
+
+// Platforms.
+
+// FullyHeterogeneous returns the paper's 16-workstation heterogeneous
+// network (Tables 1-2).
+func FullyHeterogeneous() *Network { return platform.FullyHeterogeneous() }
+
+// FullyHomogeneous returns the equivalent homogeneous network.
+func FullyHomogeneous() *Network { return platform.FullyHomogeneous() }
+
+// PartiallyHeterogeneous returns heterogeneous processors on homogeneous
+// links.
+func PartiallyHeterogeneous() *Network { return platform.PartiallyHeterogeneous() }
+
+// PartiallyHomogeneous returns homogeneous processors on heterogeneous
+// links.
+func PartiallyHomogeneous() *Network { return platform.PartiallyHomogeneous() }
+
+// UMDNetworks returns the four evaluation networks in the paper's order.
+func UMDNetworks() []*Network { return platform.UMDNetworks() }
+
+// Thunderhead models p nodes (1..256) of NASA Goddard's Beowulf cluster.
+func Thunderhead(p int) (*Network, error) { return platform.Thunderhead(p) }
+
+// Execution.
+
+// DefaultParams returns the paper's parameter choices (t=18 targets,
+// c=7 classes, I_max=5).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Run executes one algorithm variant on a simulated network and reports
+// results plus virtual-time performance figures.
+func Run(net *Network, alg Algorithm, v Variant, f *Cube, p Params) (*RunReport, error) {
+	return core.Run(net, alg, v, f, p)
+}
+
+// Adaptive (dynamic) load balancing: the paper's future-work direction.
+type (
+	// AdaptiveOptions tunes the measurement-driven rebalancer.
+	AdaptiveOptions = algo.AdaptiveOptions
+	// AdaptiveTrace records per-round imbalance and re-partitions.
+	AdaptiveTrace = algo.AdaptiveTrace
+	// AdaptiveReport couples a RunReport with the convergence trace.
+	AdaptiveReport = core.AdaptiveReport
+)
+
+// RunAdaptive executes ATDCA with dynamic load balancing: equal initial
+// shares (no platform knowledge), re-partitioned between rounds from
+// measured busy times. It converges to WEA-grade balance without knowing
+// the cycle-times — and stays balanced if they were declared wrong.
+func RunAdaptive(net *Network, f *Cube, p Params, opts AdaptiveOptions) (*AdaptiveReport, error) {
+	return core.RunAdaptive(net, f, p, opts)
+}
+
+// RunSequential executes the single-threaded baseline on one processor of
+// the given cycle-time (seconds per megaflop).
+func RunSequential(cycleTime float64, alg Algorithm, f *Cube, p Params) (*RunReport, error) {
+	return core.RunSequential(cycleTime, alg, f, p)
+}
+
+// Scoring.
+
+// DetectionScores returns the Table 3 measure: per hot spot, the SAD
+// between the known target pixel and the most similar detection.
+func DetectionScores(sc *Scene, det *DetectionResult) map[string]float64 {
+	return metrics.DetectionScores(sc, det)
+}
+
+// ClassificationAccuracy scores predicted labels against a ground-truth
+// class map (entries < 0 ignored) under the best one-to-one label
+// mapping.
+func ClassificationAccuracy(truth []int, numClasses int, pred []int) (Accuracy, error) {
+	return metrics.Classification(truth, numClasses, pred)
+}
+
+// SAD returns the spectral angle distance between two signatures.
+func SAD(a, b []float32) float64 { return spectral.SAD(a, b) }
+
+// Experiments: the paper's evaluation, one driver per table/figure.
+type (
+	// ExperimentConfig selects scenes and parameters for the evaluation.
+	ExperimentConfig = experiments.Config
+	// Table3Result is the detection accuracy study.
+	Table3Result = experiments.Table3Result
+	// Table4Result is the classification accuracy study.
+	Table4Result = experiments.Table4Result
+	// NetworkSuiteResult powers Tables 5-7.
+	NetworkSuiteResult = experiments.NetworkSuiteResult
+	// ThunderheadResult powers Table 8 and Figure 2.
+	ThunderheadResult = experiments.ThunderheadResult
+)
+
+// DefaultExperimentConfig mirrors the paper's setup at single-machine
+// scale.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// ScaledParams adapts parameters to a reduced scene so a run simulates
+// the paper's full-size 2133x512x224 problem in the virtual-time model:
+// per-pixel computation is scaled up to full-scene magnitude while
+// communication stays as-is, preserving the paper's compute-to-
+// communication balance. Use it whenever timing shape matters; plain
+// DefaultParams times a run at the reduced scene's own scale.
+func ScaledParams(p Params, cfg SceneConfig) Params { return experiments.ScaledParams(p, cfg) }
+
+// Table3 reproduces the target detection accuracy study.
+func Table3(cfg ExperimentConfig) (*Table3Result, error) { return experiments.Table3(cfg) }
+
+// Table4 reproduces the classification accuracy study.
+func Table4(cfg ExperimentConfig) (*Table4Result, error) { return experiments.Table4(cfg) }
+
+// NetworkSuite reproduces Tables 5-7 (32 runs over the four UMD
+// networks).
+func NetworkSuite(cfg ExperimentConfig) (*NetworkSuiteResult, error) {
+	return experiments.NetworkSuite(cfg)
+}
+
+// ThunderheadStudy reproduces Table 8 and Figure 2 (scalability on up to
+// 256 nodes).
+func ThunderheadStudy(cfg ExperimentConfig) (*ThunderheadResult, error) {
+	return experiments.Thunderhead(cfg)
+}
+
+// Rendering: text tables in the paper's layout.
+
+// RenderTable1 prints the heterogeneous processor specifications.
+func RenderTable1() string { return report.Table1() }
+
+// RenderTable2 prints the link capacity matrix.
+func RenderTable2() string { return report.Table2() }
+
+// RenderTable3 prints the detection accuracy study.
+func RenderTable3(r *Table3Result) string { return report.Table3(r) }
+
+// RenderTable4 prints the classification accuracy study.
+func RenderTable4(r *Table4Result) string { return report.Table4(r) }
+
+// RenderTable5 prints the execution-time table.
+func RenderTable5(r *NetworkSuiteResult) string { return report.Table5(r) }
+
+// RenderTable6 prints the COM/SEQ/PAR decomposition.
+func RenderTable6(r *NetworkSuiteResult) string { return report.Table6(r) }
+
+// RenderTable7 prints the load-balancing rates.
+func RenderTable7(r *NetworkSuiteResult) string { return report.Table7(r) }
+
+// RenderTable8 prints the Thunderhead execution times.
+func RenderTable8(r *ThunderheadResult) string { return report.Table8(r) }
+
+// RenderFigure2 prints the Thunderhead speedup series and an ASCII plot.
+func RenderFigure2(r *ThunderheadResult) string { return report.Figure2(r) }

@@ -1,0 +1,91 @@
+package hyperhet
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyExperimentConfig shrinks every scene so the full evaluation
+// pipeline runs in a few seconds.
+func tinyExperimentConfig() ExperimentConfig {
+	cfg := DefaultExperimentConfig()
+	cfg.AccuracyScene = SceneConfig{Lines: 48, Samples: 32, Bands: 64, Seed: 20010916}
+	cfg.TimingScene = SceneConfig{Lines: 96, Samples: 16, Bands: 16, Seed: 20010916}
+	cfg.ThunderheadScene = SceneConfig{Lines: 64, Samples: 16, Bands: 16, Seed: 20010916}
+	cfg.ThunderheadCPUs = []int{1, 4}
+	return cfg
+}
+
+func TestFacadeTable3AndRender(t *testing.T) {
+	r, err := Table3(tinyExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable3(r)
+	for _, want := range []string{"Table 3", "'A'", "'G'", "Hetero-ATDCA", "Hetero-UFCLS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestFacadeTable4AndRender(t *testing.T) {
+	r, err := Table4(tinyExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable4(r)
+	for _, want := range []string{"Table 4", "Gypsum", "Overall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestFacadeNetworkSuiteAndRender(t *testing.T) {
+	r, err := NetworkSuite(tinyExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for n, out := range map[string]string{
+		"5": RenderTable5(r), "6": RenderTable6(r), "7": RenderTable7(r),
+	} {
+		if !strings.Contains(out, "Hetero-ATDCA") {
+			t.Errorf("table %s missing rows", n)
+		}
+	}
+}
+
+func TestFacadeThunderheadAndRender(t *testing.T) {
+	r, err := ThunderheadStudy(tinyExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CPUs) != 2 {
+		t.Fatalf("%d cpu counts", len(r.CPUs))
+	}
+	t8 := RenderTable8(r)
+	fig := RenderFigure2(r)
+	if !strings.Contains(t8, "Table 8") || !strings.Contains(fig, "Figure 2") {
+		t.Error("rendering missing headers")
+	}
+	for _, alg := range Algorithms {
+		if r.Speedups[alg][1] <= 1 {
+			t.Errorf("%s speedup at P=4 is %v", alg, r.Speedups[alg][1])
+		}
+	}
+}
+
+func TestFacadeScaledParams(t *testing.T) {
+	cfg := SceneConfig{Lines: 100, Samples: 100, Bands: 56}
+	p := ScaledParams(DefaultParams(), cfg)
+	if p.WorkScale <= 1 || p.DataScale <= 1 {
+		t.Errorf("scales not set: %+v", p)
+	}
+	if p.EquivalentBands != 224 || p.PCT.EquivalentBands != 224 {
+		t.Error("equivalent bands not set to the paper's 224")
+	}
+}

@@ -1,0 +1,299 @@
+package algo
+
+import (
+	"sort"
+
+	"repro/internal/cube"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/vtime"
+)
+
+// This file implements the dynamic load balancing the paper's conclusions
+// point to as future work ("resource-aware static and dynamic task
+// scheduling"): an adaptive variant of ATDCA that starts from equal
+// shares — assuming NOTHING about processor speeds — and re-partitions
+// between detection rounds based on each worker's measured busy time.
+// After a few rounds the shares converge to the true speed proportions,
+// so the algorithm matches WEA's balance without WEA's requirement that
+// cycle-times be known (and stays balanced if they were declared wrong).
+
+// AdaptiveOptions tunes the rebalancer.
+type AdaptiveOptions struct {
+	// Threshold is the busy-time imbalance (max/min over workers with
+	// rows) above which the master re-partitions; 0 selects 1.15.
+	// Rebalancing below ~1.05 thrashes on measurement noise.
+	Threshold float64
+}
+
+func (o AdaptiveOptions) threshold() float64 {
+	if o.Threshold <= 0 {
+		return 1.15
+	}
+	return o.Threshold
+}
+
+// AdaptiveTrace records, per detection round, the measured imbalance and
+// whether the master re-partitioned — the convergence story of the
+// adaptive run. Only the root returns a trace.
+type AdaptiveTrace struct {
+	// Imbalance[r] is max/min worker busy time measured after round r.
+	Imbalance []float64
+	// Rebalanced[r] reports whether round r triggered a re-partition.
+	Rebalanced []bool
+	// MovedRows[r] is the number of rows that changed owner after round r.
+	MovedRows []int
+	// FinalSpans are the line spans at the end of the run.
+	FinalSpans []partition.Span
+}
+
+// roundReport is a worker's per-round measurement piggybacked on its
+// candidate.
+type roundReport struct {
+	cand candidate
+	busy float64 // busy seconds spent in this round's scan
+	rows int
+}
+
+// adaptiveUpdate is the master's per-round instruction to one worker: the
+// next round's target matrix and (possibly unchanged) partition.
+type adaptiveUpdate struct {
+	u    uMatrix
+	part LocalPart
+}
+
+// ATDCAAdaptive runs ATDCA with measurement-driven dynamic load
+// balancing. It must run inside an mpi program; f is required at the
+// root. The result and trace are returned at the root; other ranks return
+// nils.
+func ATDCAAdaptive(c *mpi.Comm, f *cube.Cube, params DetectionParams, opts AdaptiveOptions) (*DetectionResult, *AdaptiveTrace, error) {
+	t := params.Targets
+	if c.Root() {
+		if err := validateTargets(f, t); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Start from equal shares: the platform's speeds are treated as
+	// unknown.
+	part, spans, geom, err := ScatterCube(c, f, partition.Homogeneous{}, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	bands := geom[2]
+	samples := geom[1]
+
+	// Round 0: brightest pixel, with busy-time measurement.
+	busy0 := c.Clock().Busy()
+	cand := localBrightest(c, part)
+	report := roundReport{cand: cand, busy: c.Clock().Busy() - busy0, rows: part.Owned.Len()}
+	reports := mpi.GatherAs(c, 0, tagCandidate, report, candidateBytes(bands)+16)
+
+	var res *DetectionResult
+	var trace *AdaptiveTrace
+	var u uMatrix
+	if c.Root() {
+		res = &DetectionResult{}
+		trace = &AdaptiveTrace{}
+		best := pickBrightest(c, candsOf(reports))
+		res.Targets = append(res.Targets, best)
+		u.rows = append(u.rows, toF64(best.Signature))
+	}
+	part, spans, u = adaptiveRedistribute(c, f, spans, part, reports, u, bands, samples, opts, trace)
+
+	for round := 1; round < t; round++ {
+		busy0 := c.Clock().Busy()
+		cand, err := localMaxProjection(c, part, u, bands)
+		if err != nil {
+			return nil, nil, err
+		}
+		report := roundReport{cand: cand, busy: c.Clock().Busy() - busy0, rows: part.Owned.Len()}
+		reports := mpi.GatherAs(c, 0, tagCandidate, report, candidateBytes(bands)+16)
+		if c.Root() {
+			best, err := pickMaxProjection(c, candsOf(reports), u, bands, params.eqBands(bands))
+			if err != nil {
+				return nil, nil, err
+			}
+			res.Targets = append(res.Targets, best)
+			u.rows = append(u.rows, toF64(best.Signature))
+		}
+		part, spans, u = adaptiveRedistribute(c, f, spans, part, reports, u, bands, samples, opts, trace)
+	}
+	if c.Root() {
+		trace.FinalSpans = spans
+	}
+	return res, trace, nil
+}
+
+func candsOf(reports []roundReport) []candidate {
+	if reports == nil {
+		return nil
+	}
+	out := make([]candidate, len(reports))
+	for i, r := range reports {
+		out[i] = r.cand
+	}
+	return out
+}
+
+// adaptiveRedistribute decides at the root whether the measured busy
+// times warrant a re-partition, then sends every worker its next-round
+// update (new U, and its partition — unchanged or moved). The transfer
+// cost charged per worker is the U matrix plus the rows it did not
+// already hold.
+func adaptiveRedistribute(c *mpi.Comm, f *cube.Cube, spans []partition.Span, part LocalPart,
+	reports []roundReport, u uMatrix, bands, samples int,
+	opts AdaptiveOptions, trace *AdaptiveTrace) (LocalPart, []partition.Span, uMatrix) {
+
+	if !c.Root() {
+		upd := mpi.RecvAs[adaptiveUpdate](c, 0, tagBroadcast)
+		return upd.part, nil, upd.u
+	}
+
+	// Measure imbalance over workers that actually had rows.
+	imb, speeds := measureRound(reports)
+	rebalance := imb > opts.threshold()
+	newSpans := spans
+	if rebalance {
+		counts := apportionRows(lastLine(spans), speeds)
+		newSpans = spansFromCounts(counts)
+		// Re-partitioning is master bookkeeping.
+		c.ComputeFixed(float64(len(spans))*20, vtime.Seq)
+	}
+	moved := 0
+	var mine LocalPart
+	for r := 0; r < c.Size(); r++ {
+		span := newSpans[r]
+		np := LocalPart{Owned: span, Halo: span}
+		if span.Len() > 0 {
+			view, err := f.Rows(span.Lo, span.Hi)
+			if err != nil {
+				panic(err)
+			}
+			np.Cube = view
+		}
+		if r == 0 {
+			mine = np
+			continue
+		}
+		newRows := rowsNotIn(span, spans[r])
+		moved += newRows
+		bytes := u.bytes(bands) + int(float64(newRows*samples*bands*4)*c.DataScale())
+		c.Send(r, tagBroadcast, adaptiveUpdate{u: u, part: np}, bytes)
+	}
+	if trace != nil {
+		trace.Imbalance = append(trace.Imbalance, imb)
+		trace.Rebalanced = append(trace.Rebalanced, rebalance)
+		trace.MovedRows = append(trace.MovedRows, moved)
+	}
+	return mine, newSpans, u
+}
+
+// measureRound returns the busy-time imbalance across row-holding workers
+// and each worker's estimated speed (rows per busy second).
+func measureRound(reports []roundReport) (float64, []float64) {
+	speeds := make([]float64, len(reports))
+	minB, maxB := 0.0, 0.0
+	first := true
+	for i, r := range reports {
+		if r.rows == 0 || r.busy <= 0 {
+			speeds[i] = 0
+			continue
+		}
+		speeds[i] = float64(r.rows) / r.busy
+		if first {
+			minB, maxB = r.busy, r.busy
+			first = false
+			continue
+		}
+		if r.busy < minB {
+			minB = r.busy
+		}
+		if r.busy > maxB {
+			maxB = r.busy
+		}
+	}
+	if first || minB <= 0 {
+		return 1, speeds
+	}
+	return maxB / minB, speeds
+}
+
+// apportionRows distributes the scene's lines proportionally to the
+// estimated speeds (largest-remainder). Workers with no estimate (no rows
+// last round) receive a share equal to the slowest measured worker, so a
+// starved processor can re-enter.
+func apportionRows(lines int, speeds []float64) []int {
+	minSpeed := 0.0
+	for _, s := range speeds {
+		if s > 0 && (minSpeed == 0 || s < minSpeed) {
+			minSpeed = s
+		}
+	}
+	weights := make([]float64, len(speeds))
+	var sum float64
+	for i, s := range speeds {
+		if s <= 0 {
+			s = minSpeed
+		}
+		weights[i] = s
+		sum += s
+	}
+	counts := make([]int, len(weights))
+	if sum == 0 {
+		// No measurements at all: equal shares.
+		for i := range counts {
+			counts[i] = lines / len(counts)
+		}
+		counts[0] += lines - (lines/len(counts))*len(counts)
+		return counts
+	}
+	type frac struct {
+		idx  int
+		part float64
+	}
+	assigned := 0
+	fracs := make([]frac, 0, len(weights))
+	for i, w := range weights {
+		quota := float64(lines) * w / sum
+		counts[i] = int(quota)
+		assigned += counts[i]
+		fracs = append(fracs, frac{idx: i, part: quota - float64(int(quota))})
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].part != fracs[b].part {
+			return fracs[a].part > fracs[b].part
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for _, fr := range fracs {
+		if assigned == lines {
+			break
+		}
+		counts[fr.idx]++
+		assigned++
+	}
+	return counts
+}
+
+func spansFromCounts(counts []int) []partition.Span {
+	spans := make([]partition.Span, len(counts))
+	at := 0
+	for i, n := range counts {
+		spans[i] = partition.Span{Lo: at, Hi: at + n}
+		at += n
+	}
+	return spans
+}
+
+func lastLine(spans []partition.Span) int { return spans[len(spans)-1].Hi }
+
+// rowsNotIn counts the lines of newSpan that were not already in oldSpan.
+func rowsNotIn(newSpan, oldSpan partition.Span) int {
+	lo := max(newSpan.Lo, oldSpan.Lo)
+	hi := min(newSpan.Hi, oldSpan.Hi)
+	overlap := hi - lo
+	if overlap < 0 {
+		overlap = 0
+	}
+	return newSpan.Len() - overlap
+}

@@ -1,0 +1,213 @@
+// Package algo implements the paper's four hyperspectral analysis
+// algorithms — ATDCA and UFCLS target detection (Algorithms 2-3), PCT and
+// MORPH classification (Algorithms 4-5) — each in two forms:
+//
+//   - a plain sequential implementation, the baseline the paper times on a
+//     single Thunderhead processor (Tables 3-4);
+//   - a master/worker parallel implementation running on the simulated
+//     message-passing cluster of package mpi. The heterogeneous and
+//     homogeneous variants of each parallel algorithm differ only in the
+//     partitioning strategy (WEA vs equal shares), exactly as in the paper.
+//
+// All parallel implementations are deterministic: given the same scene,
+// parameters and platform they return identical results and identical
+// virtual timings on every run, and their detections/classifications match
+// the sequential implementations.
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/vtime"
+)
+
+// Message tags used by the parallel algorithms. Each protocol step has
+// its own tag so mismatched communication fails loudly.
+const (
+	tagScatter = iota + 1
+	tagCandidate
+	tagBroadcast
+	tagPartial
+	tagLabels
+	tagSpans
+)
+
+// DetectionParams configures the target detection algorithms.
+type DetectionParams struct {
+	// Targets is the number t of targets to extract.
+	Targets int
+	// EquivalentBands, when above the scene's actual band count, sets the
+	// band count at which the master's per-round sequential work
+	// (projector construction and candidate re-scoring) is charged in the
+	// virtual-time model. Reduced-scene experiments set it to the paper's
+	// 224; see mpi.Comm.ComputeFixed.
+	EquivalentBands int
+}
+
+// eqBands returns the band count used for master-side fixed charges.
+func (p DetectionParams) eqBands(actual int) int {
+	if p.EquivalentBands > actual {
+		return p.EquivalentBands
+	}
+	return actual
+}
+
+// Target is one detected target pixel in global scene coordinates.
+type Target struct {
+	Line, Sample int
+	// Score is the criterion value that selected this target (brightness,
+	// orthogonal projection norm, or reconstruction error).
+	Score float64
+	// Signature is the detected pixel vector.
+	Signature []float32
+}
+
+// DetectionResult is the output of a target detection algorithm.
+type DetectionResult struct {
+	Targets []Target
+}
+
+// ClassificationResult is the output of an unsupervised classifier.
+type ClassificationResult struct {
+	// Labels assigns every pixel (flat index) a class in [0, len(Classes)).
+	Labels []int
+	// Classes holds the representative spectral signature of each class.
+	Classes [][]float32
+}
+
+// LocalPart is one processor's share of the scene.
+type LocalPart struct {
+	// Cube is the local data including any halo rows; it is a view into
+	// the master's cube (the virtual-time model, not a copy, represents
+	// the wire) and must be treated as read-only.
+	Cube *cube.Cube
+	// Owned is the global line range this processor is responsible for.
+	Owned partition.Span
+	// Halo is the global line range actually held (Halo contains Owned).
+	Halo partition.Span
+}
+
+// OwnedView returns the sub-cube of exactly the owned lines.
+func (lp LocalPart) OwnedView() (*cube.Cube, error) {
+	if lp.Owned.Len() == 0 {
+		return nil, nil
+	}
+	return lp.Cube.Rows(lp.Owned.Lo-lp.Halo.Lo, lp.Owned.Hi-lp.Halo.Lo)
+}
+
+// scatterMsg is the per-worker payload of ScatterCube.
+type scatterMsg struct {
+	part LocalPart
+	geom [3]int // full-scene lines, samples, bands
+}
+
+// ScatterCube partitions f (present at root only) with the given strategy
+// and distributes one partition per rank, extended by halo lines on each
+// side. It returns the local partition at every rank; at the root it also
+// returns the owned spans of all ranks (needed to reassemble gathered
+// results) and the full-scene geometry at every rank.
+//
+// The transfer cost charged per worker is the serialized size of its halo
+// rows, mirroring the paper's use of MPI derived datatypes to scatter the
+// data in a single communication step per worker.
+func ScatterCube(c *mpi.Comm, f *cube.Cube, strat partition.Strategy, halo int) (LocalPart, []partition.Span, [3]int, error) {
+	if c.Root() {
+		if f == nil {
+			return LocalPart{}, nil, [3]int{}, fmt.Errorf("algo: root has no cube to scatter")
+		}
+		spans, err := strat.Partition(f.Lines, f.Samples, f.Bands, c.World().Network().Procs)
+		if err != nil {
+			return LocalPart{}, nil, [3]int{}, err
+		}
+		halos := partition.WithOverlap(spans, halo, f.Lines)
+		// Partitioning itself is master-only work; a scan over the
+		// processor list is negligible but accounted.
+		c.Compute(float64(len(spans))*10, vtime.Seq)
+		geom := [3]int{f.Lines, f.Samples, f.Bands}
+		var mine LocalPart
+		for r := 0; r < c.Size(); r++ {
+			part := LocalPart{Owned: spans[r], Halo: halos[r]}
+			if halos[r].Len() > 0 {
+				view, err := f.Rows(halos[r].Lo, halos[r].Hi)
+				if err != nil {
+					return LocalPart{}, nil, [3]int{}, err
+				}
+				part.Cube = view
+			}
+			if r == 0 {
+				mine = part
+				continue
+			}
+			bytes := 0
+			if part.Cube != nil {
+				bytes = int(float64(part.Cube.SizeBytes()) * c.DataScale())
+			}
+			c.Send(r, tagScatter, scatterMsg{part: part, geom: geom}, bytes)
+		}
+		return mine, spans, geom, nil
+	}
+	msg := mpi.RecvAs[scatterMsg](c, 0, tagScatter)
+	return msg.part, nil, msg.geom, nil
+}
+
+// GatherLabels collects per-rank label slices (one label per owned line
+// pixel) at the root and assembles the full label image. Workers pass
+// their owned-span labels; the root passes its own and receives the rest
+// in rank order. Returns the assembled image at root, nil elsewhere.
+func GatherLabels(c *mpi.Comm, spans []partition.Span, samples int, local []int) []int {
+	bytes := int(8 * float64(len(local)) * c.DataScale())
+	gathered := mpi.GatherAs(c, 0, tagLabels, local, bytes)
+	if !c.Root() {
+		return nil
+	}
+	lines := spans[len(spans)-1].Hi
+	out := make([]int, lines*samples)
+	for r, lab := range gathered {
+		span := spans[r]
+		if len(lab) != span.Len()*samples {
+			panic(fmt.Sprintf("algo: rank %d sent %d labels for %d pixels", r, len(lab), span.Len()*samples))
+		}
+		copy(out[span.Lo*samples:span.Hi*samples], lab)
+	}
+	// Assembling the final 2-D classification matrix at the master.
+	c.Compute(float64(len(out)), vtime.Seq)
+	return out
+}
+
+// candidate is a worker's best local pixel for one selection round.
+type candidate struct {
+	line, sample int // global coordinates
+	score        float64
+	sig          []float32
+	valid        bool
+}
+
+func candidateBytes(bands int) int { return 4*bands + 24 }
+
+// uMatrix serializes the growing target matrix U broadcast each round.
+type uMatrix struct {
+	rows [][]float64
+}
+
+func (u uMatrix) bytes(bands int) int { return 8 * bands * len(u.rows) }
+
+func (u uMatrix) mat(bands int) *linalg.Mat {
+	m := linalg.NewMat(len(u.rows), bands)
+	for i, r := range u.rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// toF64 converts a float32 signature to float64.
+func toF64(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}

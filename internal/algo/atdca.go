@@ -1,0 +1,246 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/vtime"
+)
+
+// This file implements the Automated Target Detection and Classification
+// Algorithm (ATDCA) of Algorithm 2: iterative target extraction by
+// orthogonal subspace projection. The first target is the brightest pixel
+// F^T F; each subsequent target is the pixel with the maximum orthogonal
+// projection norm relative to the subspace spanned by the targets found
+// so far.
+
+// ATDCASequential runs ATDCA on the whole scene in a single thread,
+// returning t targets.
+func ATDCASequential(f *cube.Cube, t int) (*DetectionResult, error) {
+	if err := validateTargets(f, t); err != nil {
+		return nil, err
+	}
+	res := &DetectionResult{}
+	// Brightest pixel.
+	best, bestScore := 0, -1.0
+	for p := 0; p < f.NumPixels(); p++ {
+		if s := f.Brightness(p); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	appendTarget(res, f, best, bestScore)
+	// Orthogonal projection rounds. Following the paper's formulation,
+	// the projector is materialized as an N x N matrix and applied to
+	// every pixel vector.
+	for len(res.Targets) < t {
+		u := linalg.NewMat(len(res.Targets), f.Bands)
+		for i, tgt := range res.Targets {
+			copy(u.Row(i), toF64(tgt.Signature))
+		}
+		proj, err := linalg.NewOSP(u)
+		if err != nil {
+			return nil, err
+		}
+		dense := proj.Dense()
+		best, bestScore = -1, -1.0
+		for p := 0; p < f.NumPixels(); p++ {
+			if s := linalg.DenseScore(dense, f.PixelAt(p)); s > bestScore {
+				best, bestScore = p, s
+			}
+		}
+		appendTarget(res, f, best, bestScore)
+	}
+	return res, nil
+}
+
+// ATDCAParallel is the Hetero-ATDCA of Algorithm 2 (or its homogeneous
+// version, depending on the partitioning strategy). It must run inside an
+// mpi program; f is required at the root and ignored elsewhere. The
+// result is returned at the root; other ranks return nil.
+func ATDCAParallel(c *mpi.Comm, f *cube.Cube, params DetectionParams, strat partition.Strategy) (*DetectionResult, error) {
+	t := params.Targets
+	if c.Root() {
+		if err := validateTargets(f, t); err != nil {
+			return nil, err
+		}
+	}
+	part, _, geom, err := ScatterCube(c, f, strat, 0)
+	if err != nil {
+		return nil, err
+	}
+	bands := geom[2]
+
+	// Round 0: brightest pixel. Workers scan their partitions in
+	// parallel and send their champion to the master.
+	cand := localBrightest(c, part)
+	cands := mpi.GatherAs(c, 0, tagCandidate, cand, candidateBytes(bands))
+
+	var res *DetectionResult
+	var u uMatrix
+	if c.Root() {
+		res = &DetectionResult{}
+		// The master re-applies the brightness criterion to the
+		// candidates (argmax over the spatial locations provided by the
+		// workers) — sequential work at the root.
+		best := pickBrightest(c, cands)
+		res.Targets = append(res.Targets, best)
+		u.rows = append(u.rows, toF64(best.Signature))
+	}
+	u = broadcastU(c, u, bands)
+
+	for round := 1; round < t; round++ {
+		// Workers: build the projector for the current U and scan the
+		// local partition for the maximum orthogonal projection.
+		cand, err := localMaxProjection(c, part, u, bands)
+		if err != nil {
+			return nil, err
+		}
+		cands := mpi.GatherAs(c, 0, tagCandidate, cand, candidateBytes(bands))
+		if c.Root() {
+			best, err := pickMaxProjection(c, cands, u, bands, params.eqBands(bands))
+			if err != nil {
+				return nil, err
+			}
+			res.Targets = append(res.Targets, best)
+			u.rows = append(u.rows, toF64(best.Signature))
+		}
+		u = broadcastU(c, u, bands)
+	}
+	return res, nil
+}
+
+func validateTargets(f *cube.Cube, t int) error {
+	if f == nil {
+		return fmt.Errorf("algo: nil cube")
+	}
+	if t < 1 {
+		return fmt.Errorf("algo: target count %d < 1", t)
+	}
+	if t > f.Bands {
+		return fmt.Errorf("algo: %d targets exceed %d bands (projector would be degenerate)", t, f.Bands)
+	}
+	if t > f.NumPixels() {
+		return fmt.Errorf("algo: %d targets exceed %d pixels", t, f.NumPixels())
+	}
+	return nil
+}
+
+func appendTarget(res *DetectionResult, f *cube.Cube, p int, score float64) {
+	l, s := f.Coord(p)
+	sig := make([]float32, f.Bands)
+	copy(sig, f.PixelAt(p))
+	res.Targets = append(res.Targets, Target{Line: l, Sample: s, Score: score, Signature: sig})
+}
+
+// localBrightest scans the owned lines for the maximum F^T F pixel.
+func localBrightest(c *mpi.Comm, part LocalPart) candidate {
+	own, err := part.OwnedView()
+	if err != nil || own == nil {
+		return candidate{}
+	}
+	best, bestScore := -1, -1.0
+	for p := 0; p < own.NumPixels(); p++ {
+		if s := own.Brightness(p); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	c.Compute(float64(own.NumPixels())*linalg.FlopsDot(own.Bands), vtime.Par)
+	l, s := own.Coord(best)
+	sig := make([]float32, own.Bands)
+	copy(sig, own.PixelAt(best))
+	return candidate{line: l + part.Owned.Lo, sample: s, score: bestScore, sig: sig, valid: true}
+}
+
+// pickBrightest selects the global brightest among the candidates,
+// re-evaluating the criterion at the master (sequential computation).
+func pickBrightest(c *mpi.Comm, cands []candidate) Target {
+	best := -1
+	bestScore := -1.0
+	for i, cd := range cands {
+		if !cd.valid {
+			continue
+		}
+		var s float64
+		for _, x := range cd.sig {
+			s += float64(x) * float64(x)
+		}
+		c.ComputeFixed(linalg.FlopsDot(len(cd.sig)), vtime.Seq)
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best < 0 {
+		panic("algo: no valid brightness candidates")
+	}
+	cd := cands[best]
+	return Target{Line: cd.line, Sample: cd.sample, Score: bestScore, Signature: cd.sig}
+}
+
+// broadcastU distributes the current target matrix from the root.
+func broadcastU(c *mpi.Comm, u uMatrix, bands int) uMatrix {
+	out := c.Bcast(0, tagBroadcast, u, u.bytes(bands))
+	return out.(uMatrix)
+}
+
+// localMaxProjection builds P⊥_U and scans the owned lines for the pixel
+// maximizing the projection norm.
+func localMaxProjection(c *mpi.Comm, part LocalPart, u uMatrix, bands int) (candidate, error) {
+	own, err := part.OwnedView()
+	if err != nil {
+		return candidate{}, err
+	}
+	if own == nil {
+		return candidate{}, nil
+	}
+	proj, err := linalg.NewOSP(u.mat(bands))
+	if err != nil {
+		return candidate{}, err
+	}
+	t := len(u.rows)
+	dense := proj.Dense()
+	c.ComputeFixed(linalg.FlopsOSPDenseBuild(t, bands), vtime.Par)
+	best, bestScore := -1, -1.0
+	for p := 0; p < own.NumPixels(); p++ {
+		if s := linalg.DenseScore(dense, own.PixelAt(p)); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	c.Compute(float64(own.NumPixels())*linalg.FlopsOSPDenseApply(bands), vtime.Par)
+	l, s := own.Coord(best)
+	sig := make([]float32, own.Bands)
+	copy(sig, own.PixelAt(best))
+	return candidate{line: l + part.Owned.Lo, sample: s, score: bestScore, sig: sig, valid: true}, nil
+}
+
+// pickMaxProjection applies P⊥_U to the candidate pixels at the master
+// and selects the maximum — the compute-intensive sequential step the
+// paper calls out for ATDCA. The fixed charges use eqBands so reduced
+// scenes keep the full problem's master-side sequential weight.
+func pickMaxProjection(c *mpi.Comm, cands []candidate, u uMatrix, bands, eqBands int) (Target, error) {
+	proj, err := linalg.NewOSP(u.mat(bands))
+	if err != nil {
+		return Target{}, err
+	}
+	t := len(u.rows)
+	dense := proj.Dense()
+	c.ComputeFixed(linalg.FlopsOSPDenseBuild(t, eqBands), vtime.Seq)
+	best, bestScore := -1, -1.0
+	for i, cd := range cands {
+		if !cd.valid {
+			continue
+		}
+		s := linalg.DenseScore(dense, cd.sig)
+		c.ComputeFixed(linalg.FlopsOSPDenseApply(eqBands), vtime.Seq)
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best < 0 {
+		return Target{}, fmt.Errorf("algo: no valid projection candidates")
+	}
+	cd := cands[best]
+	return Target{Line: cd.line, Sample: cd.sample, Score: bestScore, Signature: cd.sig}, nil
+}

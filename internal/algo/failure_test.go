@@ -1,0 +1,174 @@
+package algo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+// Failure injection: a worker dying mid-protocol must fail the whole run
+// with the originating error, never hang it. These tests kill one rank at
+// different protocol stages of each algorithm.
+
+// dieAt wraps an algorithm program so that the given rank panics once it
+// has received its partition (i.e., mid-protocol, with peers blocked on
+// later messages from it).
+func dieAfterScatter(t *testing.T, victim int, body func(c *mpi.Comm) any) mpi.Program {
+	t.Helper()
+	return func(c *mpi.Comm) any {
+		if c.Rank() == victim {
+			// Consume the scatter so the master is already past its
+			// sends, then die before contributing any candidate.
+			c.Recv(0, tagScatter)
+			panic("injected worker failure")
+		}
+		return body(c)
+	}
+}
+
+func TestWorkerDeathFailsDetectionRun(t *testing.T) {
+	sc := testScene(t)
+	for _, name := range []string{"atdca", "ufcls"} {
+		w := mpi.NewWorld(testNet(t, 4))
+		_, err := w.Run(dieAfterScatter(t, 2, func(c *mpi.Comm) any {
+			var r *DetectionResult
+			var err error
+			if name == "atdca" {
+				r, err = ATDCAParallel(c, rootCube(c, sc.Cube), DetectionParams{Targets: 4}, partition.Homogeneous{})
+			} else {
+				r, err = UFCLSParallel(c, rootCube(c, sc.Cube), DetectionParams{Targets: 4}, partition.Homogeneous{})
+			}
+			if err != nil {
+				panic(err)
+			}
+			return r
+		}))
+		if err == nil {
+			t.Fatalf("%s: run with dead worker succeeded", name)
+		}
+		if !strings.Contains(err.Error(), "injected worker failure") {
+			t.Errorf("%s: error %v does not carry the original failure", name, err)
+		}
+	}
+}
+
+func TestWorkerDeathFailsClassificationRun(t *testing.T) {
+	sc := testScene(t)
+	for _, name := range []string{"pct", "morph"} {
+		w := mpi.NewWorld(testNet(t, 4))
+		_, err := w.Run(dieAfterScatter(t, 1, func(c *mpi.Comm) any {
+			var r *ClassificationResult
+			var err error
+			if name == "pct" {
+				r, err = PCTParallel(c, rootCube(c, sc.Cube), PCTParams{Classes: 4, Theta: 0.08, MaxReps: 16}, partition.Homogeneous{})
+			} else {
+				r, err = MorphParallel(c, rootCube(c, sc.Cube), MorphParams{Classes: 4, Iterations: 2, Radius: 1, Theta: 0.08}, partition.Homogeneous{})
+			}
+			if err != nil {
+				panic(err)
+			}
+			return r
+		}))
+		if err == nil {
+			t.Fatalf("%s: run with dead worker succeeded", name)
+		}
+		if !strings.Contains(err.Error(), "injected worker failure") {
+			t.Errorf("%s: error %v does not carry the original failure", name, err)
+		}
+	}
+}
+
+func TestMasterDeathFailsRun(t *testing.T) {
+	sc := testScene(t)
+	w := mpi.NewWorld(testNet(t, 3))
+	_, err := w.Run(func(c *mpi.Comm) any {
+		if c.Root() {
+			panic("master died before scattering")
+		}
+		r, err := ATDCAParallel(c, rootCube(c, sc.Cube), DetectionParams{Targets: 4}, partition.Homogeneous{})
+		if err != nil {
+			panic(err)
+		}
+		return r
+	})
+	if err == nil || !strings.Contains(err.Error(), "master died") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDegenerateSingleMaterialScene(t *testing.T) {
+	// A scene with one uniform material: MORPH must still return a
+	// classification (one class), not crash; ATDCA's projector becomes
+	// degenerate after the first target, which must surface as an error,
+	// not a hang.
+	f := cube.MustNew(12, 8, 8)
+	for p := 0; p < f.NumPixels(); p++ {
+		f.SetPixel(p/8, p%8, []float32{1, 2, 3, 4, 4, 3, 2, 1})
+	}
+	res, err := MorphSequential(f, MorphParams{Classes: 3, Iterations: 2, Radius: 1, Theta: 0.05})
+	if err != nil {
+		t.Fatalf("uniform scene MORPH failed: %v", err)
+	}
+	if len(res.Classes) != 1 {
+		t.Errorf("uniform scene produced %d classes, want 1", len(res.Classes))
+	}
+	// Parallel ATDCA on the degenerate scene: duplicate targets make
+	// U U^T singular. The run must terminate with an error.
+	w := mpi.NewWorld(testNet(t, 2))
+	_, err = w.Run(func(c *mpi.Comm) any {
+		r, err := ATDCAParallel(c, rootCube(c, f), DetectionParams{Targets: 3}, partition.Homogeneous{})
+		if err != nil {
+			panic(err)
+		}
+		return r
+	})
+	if err == nil || !strings.Contains(err.Error(), "linearly dependent") {
+		t.Errorf("degenerate ATDCA err = %v, want linear dependence", err)
+	}
+}
+
+func TestSpectralVsSpatialPartitionAgree(t *testing.T) {
+	// Both partitioning axes must find the same brightest pixel; the
+	// spectral-domain variant just pays vastly more communication.
+	sc := testScene(t)
+	net := testNet(t, 4)
+	run := func(spectral bool) (int, float64, float64) {
+		w := mpi.NewWorld(net)
+		res, err := w.Run(func(c *mpi.Comm) any {
+			var idx int
+			var v float64
+			var err error
+			if spectral {
+				idx, v, err = BrightestSpectralPartition(c, rootCube(c, sc.Cube))
+			} else {
+				idx, v, err = BrightestSpatialPartition(c, rootCube(c, sc.Cube), partition.Homogeneous{})
+			}
+			if err != nil {
+				panic(err)
+			}
+			return [2]float64{float64(idx), v}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := res.Root().([2]float64)
+		com, _, _ := res.RootBreakdown()
+		return int(out[0]), out[1], com
+	}
+	si, sv, scom := run(true)
+	pi, pv, pcom := run(false)
+	if si != pi {
+		t.Fatalf("spectral found pixel %d, spatial %d", si, pi)
+	}
+	if sv != pv {
+		t.Errorf("brightness differs: %v vs %v", sv, pv)
+	}
+	// The communication blow-up of Section 2.1: the spectral-domain
+	// combination ships per-pixel partials from every worker.
+	if scom <= pcom {
+		t.Errorf("spectral-domain COM %v not above spatial COM %v", scom, pcom)
+	}
+}

@@ -1,0 +1,364 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cube"
+	"repro/internal/morph"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/spectral"
+	"repro/internal/vtime"
+)
+
+// This file implements the morphological classifier of Algorithm 5
+// (Hetero-MORPH, the AMEE scheme): each worker iterates erosion/dilation
+// over its partition accumulating the morphological eccentricity index,
+// proposes its c highest-MEI pixels as endmember candidates, the master
+// fuses them into a unique set of p <= c spectrally distinct endmembers,
+// and every pixel is labeled with its most similar endmember by SAD.
+//
+// The parallel version gives each partition overlap borders of
+// radius*iterations lines (step 1 of Algorithm 5): redundant computation
+// that removes all inter-processor communication from the windowing loop.
+
+// MorphParams configures the morphological classifier.
+type MorphParams struct {
+	// Classes is the number c of classes to extract.
+	Classes int
+	// Iterations is I_max, the number of erosion/dilation rounds
+	// (the paper uses 5).
+	Iterations int
+	// Radius is the structuring element radius (1 = the 3x3 kernel B).
+	Radius int
+	// Theta is the SAD threshold above which two candidate endmembers
+	// are considered distinct when the master fuses worker proposals.
+	Theta float64
+	// MinSupport is the minimum fraction of a worker's owned pixels that
+	// must be spectrally similar (within 1.5*Theta) to a candidate
+	// endmember; candidates below the floor — isolated anomalies like
+	// the thermal hot spots — are left to the target detectors. Zero
+	// selects the default.
+	MinSupport float64
+	// MinimalHalo, when true, gives each partition an overlap border of
+	// only the kernel radius instead of the full morphological reach
+	// (Radius*Iterations). Later iterations then reuse slightly stale
+	// values at partition edges — a quality approximation near the
+	// borders — in exchange for far less redundant computation on
+	// shallow partitions. The paper's Algorithm 5 does not say which
+	// policy its measurements used; its Thunderhead scaling suggests
+	// something close to this one (see DESIGN.md).
+	MinimalHalo bool
+}
+
+// minSupportCount converts the support floor into a pixel count.
+func (p MorphParams) minSupportCount(np int) int {
+	frac := p.MinSupport
+	if frac <= 0 {
+		frac = 0.005
+	}
+	n := int(frac * float64(np))
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// supportRadius is the SAD radius used when counting a candidate's
+// population.
+func (p MorphParams) supportRadius() float64 { return p.Theta }
+
+// fuseTheta is the dedup threshold applied to *refined* candidates at the
+// master. Purity averaging suppresses the per-pixel noise, so refined
+// duplicates of one material sit far closer together than raw pixels do;
+// a tighter threshold separates genuinely distinct materials that the
+// averaging pulled toward each other.
+func (p MorphParams) fuseTheta() float64 { return 0.5 * p.Theta }
+
+// filterBySupport keeps candidates whose population within own (pixels
+// with SAD <= radius) reaches minCount, preserving order and capping the
+// result at c, and refines each survivor to the mean spectrum of its
+// supporting pixels — the spatial purity averaging that makes the
+// morphological endmembers robust class exemplars rather than single
+// noisy extremes. Returns the survivors and the number of SAD
+// evaluations.
+func filterBySupport(cands []candidate, own *cube.Cube, radius float64, minCount, c int) ([]candidate, int) {
+	var out []candidate
+	sadCalls := 0
+	bands := own.Bands
+	for _, cd := range cands {
+		if len(out) == c {
+			break
+		}
+		count := 0
+		mean := make([]float64, bands)
+		for p := 0; p < own.NumPixels(); p++ {
+			sadCalls++
+			v := own.PixelAt(p)
+			if spectral.SAD(v, cd.sig) <= radius {
+				count++
+				for b, x := range v {
+					mean[b] += float64(x)
+				}
+			}
+		}
+		if count < minCount {
+			continue
+		}
+		refined := make([]float32, bands)
+		for b := range refined {
+			refined[b] = float32(mean[b] / float64(count))
+		}
+		cd.sig = refined
+		out = append(out, cd)
+	}
+	if len(out) == 0 {
+		// Degenerate partition (every candidate below the floor — e.g. a
+		// sliver of a scene where everything is a class border): fall
+		// back to the raw candidates rather than failing the run.
+		if len(cands) > c {
+			cands = cands[:c]
+		}
+		return cands, sadCalls
+	}
+	return out, sadCalls
+}
+
+// DefaultMorphParams mirrors the paper's setup: c=7, I_max=5, 3x3 kernel,
+// with the dedup threshold below the smallest inter-class angle of the
+// USGS-style materials and a 0.5% support floor.
+func DefaultMorphParams() MorphParams {
+	return MorphParams{Classes: 7, Iterations: 5, Radius: 1, Theta: 0.06, MinSupport: 0.005}
+}
+
+func (p MorphParams) validate(f *cube.Cube) error {
+	if f == nil {
+		return fmt.Errorf("algo: nil cube")
+	}
+	if p.Classes < 1 {
+		return fmt.Errorf("algo: class count %d < 1", p.Classes)
+	}
+	if p.Iterations < 1 {
+		return fmt.Errorf("algo: iterations %d < 1", p.Iterations)
+	}
+	if p.Radius < 1 {
+		return fmt.Errorf("algo: radius %d < 1", p.Radius)
+	}
+	if p.Theta <= 0 {
+		return fmt.Errorf("algo: non-positive theta %v", p.Theta)
+	}
+	return nil
+}
+
+// Halo returns the overlap border width in lines: the full spatial reach
+// of Iterations dilations with the given kernel radius, or just the
+// kernel radius under the MinimalHalo policy.
+func (p MorphParams) Halo() int {
+	if p.MinimalHalo {
+		return p.Radius
+	}
+	return p.Radius * p.Iterations
+}
+
+// selectCandidates picks up to c spectrally distinct pixels in decreasing
+// MEI order from the given cube (restricted to lines [loLine, hiLine)),
+// enforcing pairwise SAD > theta. Returns the candidates and the number
+// of SAD evaluations.
+func selectCandidates(f *cube.Cube, scores []float64, loLine, hiLine, c int, theta float64) ([]candidate, int) {
+	lo, hi := loLine*f.Samples, hiLine*f.Samples
+	order := make([]int, 0, hi-lo)
+	for p := lo; p < hi; p++ {
+		order = append(order, p)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	var out []candidate
+	sadCalls := 0
+	for _, p := range order {
+		if len(out) == c {
+			break
+		}
+		v := f.PixelAt(p)
+		distinct := true
+		for _, prev := range out {
+			sadCalls++
+			if spectral.SAD(v, prev.sig) <= theta {
+				distinct = false
+				break
+			}
+		}
+		if !distinct {
+			continue
+		}
+		sig := make([]float32, len(v))
+		copy(sig, v)
+		l, s := f.Coord(p)
+		out = append(out, candidate{line: l, sample: s, score: scores[p], sig: sig, valid: true})
+	}
+	return out, sadCalls
+}
+
+// fuseCandidates merges candidate lists into at most c spectrally
+// distinct endmembers, scanning in decreasing MEI order (ties broken by
+// list order, which is rank order at the master). Returns the fused set
+// and the number of SAD evaluations.
+func fuseCandidates(cands []candidate, c int, theta float64) ([][]float32, int) {
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cands[order[a]].score > cands[order[b]].score })
+	var out [][]float32
+	sadCalls := 0
+	for _, i := range order {
+		if len(out) == c {
+			break
+		}
+		if !cands[i].valid {
+			continue
+		}
+		distinct := true
+		for _, prev := range out {
+			sadCalls++
+			if spectral.SAD(cands[i].sig, prev) <= theta {
+				distinct = false
+				break
+			}
+		}
+		if distinct {
+			out = append(out, cands[i].sig)
+		}
+	}
+	return out, sadCalls
+}
+
+// labelBySAD assigns every pixel its most similar endmember. Returns the
+// labels and the flop count.
+func labelBySAD(f *cube.Cube, endmembers [][]float32) ([]int, float64) {
+	labels := make([]int, f.NumPixels())
+	for p := 0; p < f.NumPixels(); p++ {
+		i, _ := spectral.MostSimilar(f.PixelAt(p), endmembers)
+		labels[p] = i
+	}
+	return labels, float64(f.NumPixels()) * float64(len(endmembers)) * spectral.FlopsSAD(f.Bands)
+}
+
+// MorphSequential runs the morphological classifier on the whole scene in
+// a single thread.
+func MorphSequential(f *cube.Cube, params MorphParams) (*ClassificationResult, error) {
+	if err := params.validate(f); err != nil {
+		return nil, err
+	}
+	se := morph.Square(params.Radius)
+	res := morph.MEI(f, se, params.Iterations)
+	cands, _ := selectCandidates(res.Final, res.Scores, 0, f.Lines, 6*params.Classes, params.Theta)
+	cands, _ = filterBySupport(cands, f, params.supportRadius(), params.minSupportCount(f.NumPixels()), 3*params.Classes)
+	endmembers, _ := fuseCandidates(cands, params.Classes, params.fuseTheta())
+	if len(endmembers) == 0 {
+		return nil, fmt.Errorf("algo: no endmembers found")
+	}
+	labels, _ := labelBySAD(f, endmembers)
+	return &ClassificationResult{Labels: labels, Classes: endmembers}, nil
+}
+
+// MorphParallel is the Hetero-MORPH of Algorithm 5 (or its homogeneous
+// version). It must run inside an mpi program; f is required at the root.
+// The result is returned at the root; other ranks return nil.
+func MorphParallel(c *mpi.Comm, f *cube.Cube, params MorphParams, strat partition.Strategy) (*ClassificationResult, error) {
+	if c.Root() {
+		if err := params.validate(f); err != nil {
+			return nil, err
+		}
+	}
+	part, spans, geom, err := ScatterCube(c, f, strat, params.Halo())
+	if err != nil {
+		return nil, err
+	}
+	samples := geom[1]
+	se := morph.Square(params.Radius)
+
+	// Step 2: AMEE on the local partition including the overlap borders
+	// (redundant computation instead of communication).
+	var localCands []candidate
+	if part.Cube != nil && part.Owned.Len() > 0 {
+		// Candidates come only from the owned interior so neighbouring
+		// workers never propose the same pixel; MEIRange also shrinks the
+		// computed halo region as the morphological reach decays.
+		loLocal := part.Owned.Lo - part.Halo.Lo
+		hiLocal := loLocal + part.Owned.Len()
+		var res *morph.MEIResult
+		if params.MinimalHalo {
+			// The halo is only one kernel radius deep: iterate over the
+			// whole local slice, accepting stale edge values on later
+			// iterations.
+			res = morph.MEI(part.Cube, se, params.Iterations)
+		} else {
+			res = morph.MEIRange(part.Cube, se, params.Iterations, loLocal, hiLocal)
+		}
+		c.Compute(res.Flops, vtime.Par)
+		var calls int
+		localCands, calls = selectCandidates(res.Final, res.Scores, loLocal, hiLocal, 6*params.Classes, params.Theta)
+		c.ComputeFixed(float64(calls)*spectral.FlopsSAD(part.Cube.Bands), vtime.Par)
+		own, err := part.OwnedView()
+		if err != nil {
+			return nil, err
+		}
+		var supportCalls int
+		localCands, supportCalls = filterBySupport(localCands, own,
+			params.supportRadius(), params.minSupportCount(own.NumPixels()), 3*params.Classes)
+		c.Compute(float64(supportCalls)*spectral.FlopsSAD(part.Cube.Bands), vtime.Par)
+		// Convert local line coordinates to global.
+		for i := range localCands {
+			localCands[i].line += part.Halo.Lo
+		}
+	}
+
+	// Step 3: the master gathers the candidates and forms the unique set.
+	all := mpi.GatherAs(c, 0, tagCandidate, localCands, len(localCands)*candidateBytes(geom[2]))
+	var endmembers [][]float32
+	if c.Root() {
+		var flat []candidate
+		for _, cs := range all {
+			flat = append(flat, cs...)
+		}
+		var calls int
+		endmembers, calls = fuseCandidates(flat, params.Classes, params.fuseTheta())
+		c.ComputeFixed(float64(calls)*spectral.FlopsSAD(geom[2]), vtime.Seq)
+		if len(endmembers) == 0 {
+			return nil, fmt.Errorf("algo: no endmembers found")
+		}
+	}
+
+	// Step 4: broadcast the unique set; every worker labels its owned
+	// pixels by SAD.
+	var emBytes int
+	if c.Root() {
+		emBytes = len(endmembers) * 4 * geom[2]
+	}
+	emAny := c.Bcast(0, tagBroadcast, endmembers, emBytes)
+	endmembers = emAny.([][]float32)
+
+	var localLabels []int
+	own, err := part.OwnedView()
+	if err != nil {
+		return nil, err
+	}
+	if own != nil {
+		var flops float64
+		localLabels, flops = labelBySAD(own, endmembers)
+		c.Compute(flops, vtime.Par)
+	}
+
+	// Step 5: gather the labels into the final classification matrix.
+	labels := GatherLabels(c, spans, samples, localLabels)
+	if !c.Root() {
+		return nil, nil
+	}
+	return &ClassificationResult{Labels: labels, Classes: endmembers}, nil
+}

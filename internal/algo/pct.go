@@ -1,0 +1,596 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cube"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/spectral"
+	"repro/internal/vtime"
+)
+
+// This file implements the PCT classifier of Algorithm 4: select a unique
+// spectral set of c representative pixel vectors by SAD deduplication,
+// compute the principal component transform of the scene (mean vector,
+// covariance matrix, eigendecomposition), project every pixel onto the
+// first c components, and label each pixel with the most similar unique
+// vector in the reduced space.
+//
+// One deliberate deviation from the paper's text: steps 4-6 of Algorithm 4
+// read as if the mean and covariance were computed over the unique set,
+// which for c=7 pixels would make the covariance degenerate (rank <= 7
+// from 7 samples) and could not be meaningfully "divided into P parts".
+// We compute the PCT statistics over the full image — the standard
+// parallel PCT — which matches the paper's cost profile (heavy sequential
+// eigendecomposition at the master, Table 6) and its degrees of
+// parallelism.
+
+// PCTParams configures the PCT classifier.
+type PCTParams struct {
+	// Classes is the number c of classes (and principal components kept).
+	Classes int
+	// Theta is the SAD threshold (radians) under which two pixels are
+	// considered spectrally identical during unique-set construction.
+	Theta float64
+	// MaxReps bounds the per-scan representative count.
+	MaxReps int
+	// EquivalentBands, when nonzero, sets the band count at which the
+	// sequential eigendecomposition is charged in the virtual-time model.
+	// Reduced-scene experiments set it to the paper's 224 so the
+	// master-side O(bands^3) step keeps its full-problem weight (see
+	// mpi.World.SetComputeScale, which only scales pixel-proportional
+	// work).
+	EquivalentBands int
+	// MinPopulation is the minimum fraction of scanned pixels a unique-set
+	// representative must account for to become a class; smaller groups
+	// (isolated anomalies such as the thermal hot spots, which the target
+	// detectors exist to find) are absorbed into their nearest
+	// representative before merging. Zero selects the default.
+	MinPopulation float64
+}
+
+// eigenBands returns the band count used for the eigendecomposition
+// charge.
+func (p PCTParams) eigenBands(actual int) int {
+	if p.EquivalentBands > actual {
+		return p.EquivalentBands
+	}
+	return actual
+}
+
+// DefaultPCTParams mirrors the paper's setup: c=7 classes (the USGS
+// dust/debris map), with a dedup threshold below the smallest inter-class
+// angle of the USGS-style materials and a 0.5% population floor.
+func DefaultPCTParams() PCTParams {
+	return PCTParams{Classes: 7, Theta: 0.04, MaxReps: 48, MinPopulation: 0.02}
+}
+
+// minPopulationCount converts the population-floor fraction into a pixel
+// count for a scan of np pixels.
+func (p PCTParams) minPopulationCount(np int) int {
+	frac := p.MinPopulation
+	if frac <= 0 {
+		frac = 0.005
+	}
+	n := int(frac * float64(np))
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// pruneReps absorbs representatives whose population is below minCount
+// into their nearest surviving representative. Returns the pruned set and
+// the number of SAD evaluations. At least one representative always
+// survives.
+func pruneReps(reps []rep, minCount int) ([]rep, int) {
+	var kept, small []rep
+	for _, r := range reps {
+		if r.count >= minCount {
+			kept = append(kept, r)
+		} else {
+			small = append(small, r)
+		}
+	}
+	if len(kept) == 0 {
+		// Degenerate scan (tiny partition): keep the largest group.
+		best := 0
+		for i := range reps {
+			if reps[i].count > reps[best].count {
+				best = i
+			}
+		}
+		kept = []rep{reps[best]}
+		small = append(reps[:best:best], reps[best+1:]...)
+	}
+	sadCalls := 0
+	for _, s := range small {
+		nearest, nearestD := 0, spectral.SAD(s.sig, kept[0].sig)
+		sadCalls++
+		for i := 1; i < len(kept); i++ {
+			d := spectral.SAD(s.sig, kept[i].sig)
+			sadCalls++
+			if d < nearestD {
+				nearest, nearestD = i, d
+			}
+		}
+		kept[nearest].count += s.count
+	}
+	return kept, sadCalls
+}
+
+func (p PCTParams) validate(f *cube.Cube) error {
+	if f == nil {
+		return fmt.Errorf("algo: nil cube")
+	}
+	if p.Classes < 1 {
+		return fmt.Errorf("algo: class count %d < 1", p.Classes)
+	}
+	if p.Classes > f.Bands {
+		return fmt.Errorf("algo: %d classes exceed %d bands", p.Classes, f.Bands)
+	}
+	if p.Theta <= 0 {
+		return fmt.Errorf("algo: non-positive theta %v", p.Theta)
+	}
+	if p.MaxReps < p.Classes {
+		return fmt.Errorf("algo: MaxReps %d below class count %d", p.MaxReps, p.Classes)
+	}
+	return nil
+}
+
+// rep is one unique-set representative: the first pixel seen of a
+// spectrally distinct group, with the group's population.
+type rep struct {
+	sig   []float32
+	count int
+}
+
+func repsBytes(reps []rep, bands int) int { return len(reps) * (4*bands + 8) }
+
+// uniqueScan builds the unique spectral set of a cube by greedy SAD
+// deduplication (step 2 of Algorithm 4): a pixel joins an existing
+// representative when their SAD is below theta, otherwise it founds a new
+// one (until maxReps, after which outliers are absorbed by their nearest
+// representative). Returns the set and the number of SAD evaluations
+// performed, for cost accounting.
+func uniqueScan(f *cube.Cube, theta float64, maxReps int) ([]rep, int) {
+	var reps []rep
+	sadCalls := 0
+	for p := 0; p < f.NumPixels(); p++ {
+		v := f.PixelAt(p)
+		bestI, bestD := -1, theta
+		for i := range reps {
+			d := spectral.SAD(v, reps[i].sig)
+			sadCalls++
+			if d < bestD {
+				bestI, bestD = i, d
+			}
+		}
+		switch {
+		case bestI >= 0:
+			reps[bestI].count++
+		case len(reps) < maxReps:
+			sig := make([]float32, len(v))
+			copy(sig, v)
+			reps = append(reps, rep{sig: sig, count: 1})
+		default:
+			// Set is full: absorb into the nearest representative.
+			nearest, nearestD := 0, spectral.SAD(v, reps[0].sig)
+			sadCalls++
+			for i := 1; i < len(reps); i++ {
+				d := spectral.SAD(v, reps[i].sig)
+				sadCalls++
+				if d < nearestD {
+					nearest, nearestD = i, d
+				}
+			}
+			reps[nearest].count++
+		}
+	}
+	return reps, sadCalls
+}
+
+// mergeReps combines representatives one pair at a time — always the
+// spectrally closest pair, the larger population absorbing the smaller —
+// until at most c remain (step 3 of Algorithm 4). Pairwise distances are
+// computed once and maintained incrementally, so the whole merge costs
+// O(n^2) SAD evaluations rather than O(n^4). Returns the merged set and
+// the number of SAD evaluations.
+func mergeReps(reps []rep, c int) ([]rep, int) {
+	n := len(reps)
+	if n <= c {
+		return reps, 0
+	}
+	sadCalls := 0
+	type pair struct {
+		d    float64
+		i, j int
+	}
+	pairs := make([]pair, 0, n*(n-1)/2)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := spectral.SAD(reps[i].sig, reps[j].sig)
+			sadCalls++
+			pairs = append(pairs, pair{d: d, i: i, j: j})
+		}
+	}
+	// Signatures never change during merging (the larger population
+	// absorbs the smaller), so one global sort suffices.
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].d != pairs[b].d {
+			return pairs[a].d < pairs[b].d
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	remaining := n
+	for _, p := range pairs {
+		if remaining <= c {
+			break
+		}
+		if !alive[p.i] || !alive[p.j] {
+			continue
+		}
+		keep, drop := p.i, p.j
+		if reps[p.j].count > reps[p.i].count {
+			keep, drop = p.j, p.i
+		}
+		reps[keep].count += reps[drop].count
+		alive[drop] = false
+		remaining--
+	}
+	out := make([]rep, 0, c)
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			out = append(out, reps[i])
+		}
+	}
+	return out, sadCalls
+}
+
+// covarianceUpper accumulates the upper triangle of sum (x-m)(x-m)^T over
+// the cube into acc (bands x bands). Returns the flop count charged.
+func covarianceUpper(f *cube.Cube, mean []float64, acc *linalg.Mat) float64 {
+	n := f.Bands
+	d := make([]float64, n)
+	for p := 0; p < f.NumPixels(); p++ {
+		v := f.PixelAt(p)
+		for i := 0; i < n; i++ {
+			d[i] = float64(v[i]) - mean[i]
+		}
+		for i := 0; i < n; i++ {
+			row := acc.Row(i)
+			di := d[i]
+			for j := i; j < n; j++ {
+				row[j] += di * d[j]
+			}
+		}
+	}
+	return float64(f.NumPixels()) * (float64(n) + float64(n)*float64(n+1))
+}
+
+func mirrorLower(m *linalg.Mat) {
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			m.Set(j, i, m.At(i, j))
+		}
+	}
+}
+
+// pctTransformMatrix extracts the first c eigenvectors (as rows) of the
+// covariance matrix.
+func pctTransformMatrix(cov *linalg.Mat, c int) (*linalg.Mat, error) {
+	eig, err := linalg.SymEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	t := linalg.NewMat(c, cov.Rows)
+	for k := 0; k < c; k++ {
+		for j := 0; j < cov.Rows; j++ {
+			t.Set(k, j, eig.Vectors.At(j, k))
+		}
+	}
+	return t, nil
+}
+
+// pctProject computes T*(x-m) for a float32 pixel.
+func pctProject(t *linalg.Mat, mean []float64, v []float32, out []float64) {
+	for k := 0; k < t.Rows; k++ {
+		row := t.Row(k)
+		var s float64
+		for j := range row {
+			s += row[j] * (float64(v[j]) - mean[j])
+		}
+		out[k] = s
+	}
+}
+
+// reduceCube projects every pixel of f onto the transform's components,
+// returning one reduced vector per pixel and the flop count.
+func reduceCube(f *cube.Cube, t *linalg.Mat, mean []float64) ([][]float64, float64) {
+	out := make([][]float64, f.NumPixels())
+	buf := make([]float64, t.Rows)
+	for p := 0; p < f.NumPixels(); p++ {
+		pctProject(t, mean, f.PixelAt(p), buf)
+		out[p] = append([]float64(nil), buf...)
+	}
+	return out, float64(f.NumPixels()) * linalg.FlopsMulVec(t.Rows, t.Cols)
+}
+
+// classifyReducedVectors labels every reduced pixel vector with its most
+// similar projected representative. Returns labels and the flop count.
+func classifyReducedVectors(reduced [][]float64, reps [][]float64, comps int) ([]int, float64) {
+	labels := make([]int, len(reduced))
+	for p, v := range reduced {
+		best, bestD := 0, spectral.SADf64(v, reps[0])
+		for k := 1; k < len(reps); k++ {
+			if d := spectral.SADf64(v, reps[k]); d < bestD {
+				best, bestD = k, d
+			}
+		}
+		labels[p] = best
+	}
+	return labels, float64(len(reduced)) * float64(len(reps)) * spectral.FlopsSAD(comps)
+}
+
+// classifyReduced labels every pixel of f with the index of the most
+// similar projected representative. Returns labels and the flop count.
+func classifyReduced(f *cube.Cube, t *linalg.Mat, mean []float64, reduced [][]float64) ([]int, float64) {
+	labels := make([]int, f.NumPixels())
+	buf := make([]float64, t.Rows)
+	for p := 0; p < f.NumPixels(); p++ {
+		pctProject(t, mean, f.PixelAt(p), buf)
+		best, bestD := 0, spectral.SADf64(buf, reduced[0])
+		for k := 1; k < len(reduced); k++ {
+			if d := spectral.SADf64(buf, reduced[k]); d < bestD {
+				best, bestD = k, d
+			}
+		}
+		labels[p] = best
+	}
+	flops := float64(f.NumPixels()) * (linalg.FlopsMulVec(t.Rows, t.Cols) + float64(len(reduced))*spectral.FlopsSAD(t.Rows))
+	return labels, flops
+}
+
+// repsToResult converts representatives into the classification result's
+// class signatures.
+func repsToClasses(reps []rep) [][]float32 {
+	out := make([][]float32, len(reps))
+	for i, r := range reps {
+		out[i] = r.sig
+	}
+	return out
+}
+
+// PCTSequential runs the PCT classifier on the whole scene in a single
+// thread.
+func PCTSequential(f *cube.Cube, params PCTParams) (*ClassificationResult, error) {
+	if err := params.validate(f); err != nil {
+		return nil, err
+	}
+	reps, _ := uniqueScan(f, params.Theta, params.MaxReps)
+	reps, _ = pruneReps(reps, params.minPopulationCount(f.NumPixels()))
+	reps, _ = mergeReps(reps, params.Classes)
+	mean := f.MeanVector()
+	cov := linalg.NewMat(f.Bands, f.Bands)
+	covarianceUpper(f, mean, cov)
+	mirrorLower(cov)
+	for i := range cov.Data {
+		cov.Data[i] /= float64(f.NumPixels())
+	}
+	t, err := pctTransformMatrix(cov, min(params.Classes, len(reps)))
+	if err != nil {
+		return nil, err
+	}
+	reduced := make([][]float64, len(reps))
+	buf := make([]float64, t.Rows)
+	for i, r := range reps {
+		pctProject(t, mean, r.sig, buf)
+		reduced[i] = append([]float64(nil), buf...)
+	}
+	labels, _ := classifyReduced(f, t, mean, reduced)
+	return &ClassificationResult{Labels: labels, Classes: repsToClasses(reps)}, nil
+}
+
+// pctBcastMsg carries the transform, mean and reduced representatives
+// from the master to the workers.
+type pctBcastMsg struct {
+	t       *linalg.Mat
+	mean    []float64
+	reduced [][]float64
+	classes [][]float32
+}
+
+func (m pctBcastMsg) bytes() int {
+	b := 8 * len(m.t.Data)
+	b += 8 * len(m.mean)
+	for _, r := range m.reduced {
+		b += 8 * len(r)
+	}
+	for _, cl := range m.classes {
+		b += 4 * len(cl)
+	}
+	return b
+}
+
+// PCTParallel is the Hetero-PCT of Algorithm 4 (or its homogeneous
+// version). It must run inside an mpi program; f is required at the root.
+// The result is returned at the root; other ranks return nil.
+func PCTParallel(c *mpi.Comm, f *cube.Cube, params PCTParams, strat partition.Strategy) (*ClassificationResult, error) {
+	if c.Root() {
+		if err := params.validate(f); err != nil {
+			return nil, err
+		}
+	}
+	part, spans, geom, err := ScatterCube(c, f, strat, 0)
+	if err != nil {
+		return nil, err
+	}
+	samples, bands := geom[1], geom[2]
+	own, err := part.OwnedView()
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: each worker forms its local unique spectral set, reduced to
+	// c representatives before shipping.
+	var localReps []rep
+	if own != nil {
+		var calls int
+		localReps, calls = uniqueScan(own, params.Theta, params.MaxReps)
+		c.Compute(float64(calls)*spectral.FlopsSAD(bands), vtime.Par)
+		localReps, calls = pruneReps(localReps, params.minPopulationCount(own.NumPixels()))
+		c.ComputeFixed(float64(calls)*spectral.FlopsSAD(bands), vtime.Par)
+		localReps, calls = mergeReps(localReps, params.Classes)
+		c.ComputeFixed(float64(calls)*spectral.FlopsSAD(bands), vtime.Par)
+	}
+	allReps := mpi.GatherAs(c, 0, tagCandidate, localReps, repsBytes(localReps, bands))
+
+	// Step 3: the master combines the P unique sets one pair of sets at
+	// a time, so the final set of c representatives emerges after P-1
+	// pairwise folds (linear in P, matching the paper's scaling).
+	var reps []rep
+	if c.Root() {
+		for _, rs := range allReps {
+			if len(rs) == 0 {
+				continue
+			}
+			var calls int
+			reps, calls = mergeReps(append(reps, rs...), params.Classes)
+			c.ComputeFixed(float64(calls)*spectral.FlopsSAD(bands), vtime.Seq)
+		}
+	}
+
+	// Step 4: the mean vector, computed concurrently.
+	localSum := make([]float64, bands)
+	var localCount int
+	if own != nil {
+		for p := 0; p < own.NumPixels(); p++ {
+			v := own.PixelAt(p)
+			for b, x := range v {
+				localSum[b] += float64(x)
+			}
+		}
+		localCount = own.NumPixels()
+		c.Compute(float64(localCount)*float64(bands), vtime.Par)
+	}
+	sums := mpi.GatherAs(c, 0, tagPartial, localSum, 8*bands)
+	counts := mpi.GatherAs(c, 0, tagPartial, localCount, 8)
+	var mean []float64
+	if c.Root() {
+		mean = make([]float64, bands)
+		total := 0
+		for r := range sums {
+			for b := range mean {
+				mean[b] += sums[r][b]
+			}
+			total += counts[r]
+		}
+		for b := range mean {
+			mean[b] /= float64(total)
+		}
+		c.ComputeFixed(float64(len(sums))*float64(bands), vtime.Seq)
+	}
+	meanAny := c.Bcast(0, tagBroadcast, mean, 8*bands)
+	mean = meanAny.([]float64)
+
+	// Steps 5-6: covariance components in parallel, summed at the master.
+	localCov := linalg.NewMat(bands, bands)
+	if own != nil {
+		flops := covarianceUpper(own, mean, localCov)
+		c.Compute(flops, vtime.Par)
+	}
+	covs := mpi.GatherAs(c, 0, tagPartial, localCov, 8*bands*bands)
+	var msg pctBcastMsg
+	if c.Root() {
+		cov := linalg.NewMat(bands, bands)
+		for _, partial := range covs {
+			for i := range cov.Data {
+				cov.Data[i] += partial.Data[i]
+			}
+		}
+		np := 0
+		for _, ct := range counts {
+			np += ct
+		}
+		mirrorLower(cov)
+		for i := range cov.Data {
+			cov.Data[i] /= float64(np)
+		}
+		c.ComputeFixed(float64(len(covs))*float64(bands)*float64(bands), vtime.Seq)
+
+		// Step 7: eigendecomposition, sequential at the master.
+		t, err := pctTransformMatrix(cov, min(params.Classes, len(reps)))
+		if err != nil {
+			return nil, err
+		}
+		c.ComputeFixed(linalg.FlopsSymEigen(params.eigenBands(bands)), vtime.Seq)
+		reduced := make([][]float64, len(reps))
+		buf := make([]float64, t.Rows)
+		for i, r := range reps {
+			pctProject(t, mean, r.sig, buf)
+			reduced[i] = append([]float64(nil), buf...)
+		}
+		c.ComputeFixed(float64(len(reps))*linalg.FlopsMulVec(t.Rows, bands), vtime.Seq)
+		msg = pctBcastMsg{t: t, mean: mean, reduced: reduced, classes: repsToClasses(reps)}
+	}
+	var msgBytes int
+	if c.Root() {
+		msgBytes = msg.bytes()
+	}
+	msgAny := c.Bcast(0, tagBroadcast, msg, msgBytes)
+	msg = msgAny.(pctBcastMsg)
+
+	// Step 8: every worker transforms its portion into the reduced
+	// (c-component) cube.
+	var reducedLocal [][]float64
+	if own != nil {
+		var flops float64
+		reducedLocal, flops = reduceCube(own, msg.t, msg.mean)
+		c.Compute(flops, vtime.Par)
+	}
+
+	// Step 9, first half: the reduced-cube partitions pass through the
+	// master, exactly as the paper routes them ("P partitions of a
+	// reduced data cube ... are sent to the workers"). The payloads are
+	// pixel-proportional, so the transfers carry the data scale.
+	redBytes := int(float64(len(reducedLocal)*msg.t.Rows*8) * c.DataScale())
+	gatheredRed := mpi.GatherAs(c, 0, tagPartial, reducedLocal, redBytes)
+	if c.Root() {
+		// Assembling the reduced cube at the master is a linear pass.
+		total := 0
+		for _, part := range gatheredRed {
+			total += len(part)
+		}
+		c.Compute(float64(total), vtime.Seq)
+		for r := 1; r < c.Size(); r++ {
+			part := gatheredRed[r]
+			c.Send(r, tagPartial, part, int(float64(len(part)*msg.t.Rows*8)*c.DataScale()))
+		}
+	} else {
+		reducedLocal = mpi.RecvAs[[][]float64](c, 0, tagPartial)
+	}
+
+	// Step 9, second half: classify in the reduced space and gather the
+	// labels.
+	var localLabels []int
+	if own != nil {
+		var flops float64
+		localLabels, flops = classifyReducedVectors(reducedLocal, msg.reduced, msg.t.Rows)
+		c.Compute(flops, vtime.Par)
+	}
+	labels := GatherLabels(c, spans, samples, localLabels)
+	if !c.Root() {
+		return nil, nil
+	}
+	return &ClassificationResult{Labels: labels, Classes: msg.classes}, nil
+}

@@ -1,0 +1,181 @@
+package algo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cube"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/platform"
+)
+
+// Property-based checks of the parallel/sequential equivalence across
+// random scene contents, processor counts and platform speeds.
+
+// randomCube fills a small cube with seeded pseudo-random reflectance.
+func randomCube(seed int64, lines, samples, bands int) *cube.Cube {
+	rng := rand.New(rand.NewSource(seed))
+	f := cube.MustNew(lines, samples, bands)
+	for i := range f.Data {
+		f.Data[i] = rng.Float32() + 0.05
+	}
+	return f
+}
+
+// randomNet builds a platform with pseudo-random cycle-times.
+func randomNet(t *testing.T, seed int64, p int) *platform.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	procs := make([]platform.Processor, p)
+	links := make([][]float64, p)
+	for i := range procs {
+		procs[i] = platform.Processor{
+			ID:        i + 1,
+			CycleTime: 0.001 * float64(1+rng.Intn(40)),
+			MemoryMB:  2048,
+		}
+		links[i] = make([]float64, p)
+		for j := range links[i] {
+			if i != j {
+				links[i][j] = 5 + float64(rng.Intn(100))
+			}
+		}
+	}
+	// Symmetrize.
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			links[j][i] = links[i][j]
+		}
+	}
+	net, err := platform.New("random", procs, links, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestQuickATDCAParallelEqualsSequential(t *testing.T) {
+	f := func(seed int64, pRaw, tRaw uint8) bool {
+		p := 1 + int(pRaw)%6
+		targets := 2 + int(tRaw)%4
+		fcube := randomCube(seed, 10+int(pRaw)%8, 6, 12)
+		seq, err := ATDCASequential(fcube, targets)
+		if err != nil {
+			return false
+		}
+		net := randomNet(t, seed+1, p)
+		w := mpi.NewWorld(net)
+		res, err := w.Run(func(c *mpi.Comm) any {
+			r, err := ATDCAParallel(c, rootCube(c, fcube), DetectionParams{Targets: targets}, partition.Heterogeneous{})
+			if err != nil {
+				panic(err)
+			}
+			return r
+		})
+		if err != nil {
+			return false
+		}
+		return sameTargets(seq.Targets, res.Root().(*DetectionResult).Targets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUFCLSParallelEqualsSequential(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := 1 + int(pRaw)%5
+		fcube := randomCube(seed, 12, 5, 10)
+		seq, err := UFCLSSequential(fcube, 3)
+		if err != nil {
+			return false
+		}
+		net := randomNet(t, seed+2, p)
+		w := mpi.NewWorld(net)
+		res, err := w.Run(func(c *mpi.Comm) any {
+			r, err := UFCLSParallel(c, rootCube(c, fcube), DetectionParams{Targets: 3}, partition.Homogeneous{})
+			if err != nil {
+				panic(err)
+			}
+			return r
+		})
+		if err != nil {
+			return false
+		}
+		return sameTargets(seq.Targets, res.Root().(*DetectionResult).Targets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLabelsCoverEveryPixel(t *testing.T) {
+	// For any random scene and processor count, both classifiers label
+	// exactly every pixel with an in-range class.
+	f := func(seed int64, pRaw uint8) bool {
+		p := 1 + int(pRaw)%5
+		fcube := randomCube(seed, 14, 6, 10)
+		net := randomNet(t, seed+3, p)
+		for _, alg := range []string{"pct", "morph"} {
+			w := mpi.NewWorld(net)
+			res, err := w.Run(func(c *mpi.Comm) any {
+				var r *ClassificationResult
+				var err error
+				if alg == "pct" {
+					r, err = PCTParallel(c, rootCube(c, fcube), PCTParams{Classes: 3, Theta: 0.05, MaxReps: 12}, partition.Heterogeneous{})
+				} else {
+					r, err = MorphParallel(c, rootCube(c, fcube), MorphParams{Classes: 3, Iterations: 2, Radius: 1, Theta: 0.05}, partition.Heterogeneous{})
+				}
+				if err != nil {
+					panic(err)
+				}
+				return r
+			})
+			if err != nil {
+				return false
+			}
+			r := res.Root().(*ClassificationResult)
+			if len(r.Labels) != fcube.NumPixels() || len(r.Classes) == 0 {
+				return false
+			}
+			for _, lab := range r.Labels {
+				if lab < 0 || lab >= len(r.Classes) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWallTimeCoversRootTime(t *testing.T) {
+	// Invariant of the virtual-time model: the run's wall time is at
+	// least the root's COM+SEQ+PAR decomposition, for any platform.
+	f := func(seed int64, pRaw uint8) bool {
+		p := 2 + int(pRaw)%5
+		fcube := randomCube(seed, 12, 5, 8)
+		net := randomNet(t, seed+4, p)
+		w := mpi.NewWorld(net)
+		res, err := w.Run(func(c *mpi.Comm) any {
+			r, err := ATDCAParallel(c, rootCube(c, fcube), DetectionParams{Targets: 2}, partition.Heterogeneous{})
+			if err != nil {
+				panic(err)
+			}
+			return r
+		})
+		if err != nil {
+			return false
+		}
+		com, seq, par := res.RootBreakdown()
+		rootTotal := com + seq + par
+		return res.WallTime() >= rootTotal-1e-9 || rootTotal-res.WallTime() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

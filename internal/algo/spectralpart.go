@@ -1,0 +1,132 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/vtime"
+)
+
+// This file implements the partitioning alternative Section 2.1 of the
+// paper rejects: spectral-domain decomposition, where each processor
+// holds every pixel but only a contiguous slice of the spectral bands.
+// Any per-pixel quantity (here: the brightness F^T F that seeds both
+// detectors) then requires combining partial results for EVERY pixel
+// across ALL processors — a gather whose volume grows with the pixel
+// count times the processor count, instead of the one-candidate-per-
+// processor exchange the paper's hybrid spatial partitioning needs.
+// BenchmarkAblationPartitionAxis quantifies the difference.
+
+// bandSlice is a worker's share of the spectrum under spectral-domain
+// partitioning.
+type bandSlice struct {
+	cube     *cube.Cube // all pixels, bands [lo, hi) of the original
+	lo, hi   int
+	geomFull [3]int
+}
+
+// scatterBands distributes contiguous band slices of f (present at the
+// root) across all ranks, equally sized. The transfer cost per worker is
+// its slice's serialized size, exactly like the spatial scatter.
+func scatterBands(c *mpi.Comm, f *cube.Cube) (bandSlice, error) {
+	if c.Root() {
+		if f == nil {
+			return bandSlice{}, fmt.Errorf("algo: root has no cube to scatter")
+		}
+		p := c.Size()
+		geom := [3]int{f.Lines, f.Samples, f.Bands}
+		var mine bandSlice
+		for r := 0; r < p; r++ {
+			lo := r * f.Bands / p
+			hi := (r + 1) * f.Bands / p
+			sl := bandSlice{lo: lo, hi: hi, geomFull: geom}
+			if hi > lo {
+				bands := make([]int, 0, hi-lo)
+				for b := lo; b < hi; b++ {
+					bands = append(bands, b)
+				}
+				sub, err := f.SelectBands(bands)
+				if err != nil {
+					return bandSlice{}, err
+				}
+				sl.cube = sub
+			}
+			if r == 0 {
+				mine = sl
+				continue
+			}
+			bytes := 0
+			if sl.cube != nil {
+				bytes = int(float64(sl.cube.SizeBytes()) * c.DataScale())
+			}
+			c.Send(r, tagScatter, sl, bytes)
+		}
+		return mine, nil
+	}
+	return mpi.RecvAs[bandSlice](c, 0, tagScatter), nil
+}
+
+// BrightestSpectralPartition finds the brightest pixel of f under
+// spectral-domain partitioning: each worker computes per-pixel partial
+// squared norms over its band slice, and the master gathers and sums the
+// full per-pixel vectors — the communication pattern the paper's
+// Section 2.1 warns about. Returns the flat pixel index and its
+// brightness at the root (-1 elsewhere).
+func BrightestSpectralPartition(c *mpi.Comm, f *cube.Cube) (int, float64, error) {
+	sl, err := scatterBands(c, f)
+	if err != nil {
+		return -1, 0, err
+	}
+	np := sl.geomFull[0] * sl.geomFull[1]
+	partial := make([]float64, np)
+	if sl.cube != nil {
+		for p := 0; p < np; p++ {
+			partial[p] = sl.cube.Brightness(p)
+		}
+		c.Compute(float64(np)*linalg.FlopsDot(sl.cube.Bands), vtime.Par)
+	}
+	// The per-pixel combination: every rank ships np partial sums. This
+	// is the pixel-count-proportional exchange, so it carries the data
+	// scale.
+	bytes := int(8 * float64(np) * c.DataScale())
+	parts := mpi.GatherAs(c, 0, tagPartial, partial, bytes)
+	if !c.Root() {
+		return -1, 0, nil
+	}
+	total := make([]float64, np)
+	for _, part := range parts {
+		for p, v := range part {
+			total[p] += v
+		}
+	}
+	c.Compute(float64(len(parts))*float64(np), vtime.Seq)
+	best, bestV := 0, total[0]
+	for p, v := range total {
+		if v > bestV {
+			best, bestV = p, v
+		}
+	}
+	c.Compute(float64(np), vtime.Seq)
+	return best, bestV, nil
+}
+
+// BrightestSpatialPartition is the same query under the paper's hybrid
+// spatial partitioning: one candidate per processor, combined at the
+// master. Returns the flat pixel index and its brightness at the root
+// (-1 elsewhere).
+func BrightestSpatialPartition(c *mpi.Comm, f *cube.Cube, strat partition.Strategy) (int, float64, error) {
+	part, _, geom, err := ScatterCube(c, f, strat, 0)
+	if err != nil {
+		return -1, 0, err
+	}
+	cand := localBrightest(c, part)
+	cands := mpi.GatherAs(c, 0, tagCandidate, cand, candidateBytes(geom[2]))
+	if !c.Root() {
+		return -1, 0, nil
+	}
+	best := pickBrightest(c, cands)
+	return best.Line*geom[1] + best.Sample, best.Score, nil
+}

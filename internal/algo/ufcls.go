@@ -1,0 +1,169 @@
+package algo
+
+import (
+	"repro/internal/cube"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/vtime"
+)
+
+// This file implements the Unsupervised Fully Constrained Least Squares
+// (UFCLS) target generation of Algorithm 3: starting from the brightest
+// pixel, each round unmixes every pixel as a fully constrained (non-
+// negative, sum-to-one) linear mixture of the targets found so far and
+// admits the pixel with the largest reconstruction error as the next
+// target.
+
+// ufclsEndmemberMat assembles the bands x t endmember matrix from the
+// target rows of U.
+func ufclsEndmemberMat(u uMatrix, bands int) *linalg.Mat {
+	m := linalg.NewMat(bands, len(u.rows))
+	for j, row := range u.rows {
+		for b := 0; b < bands; b++ {
+			m.Set(b, j, row[b])
+		}
+	}
+	return m
+}
+
+// UFCLSSequential runs UFCLS on the whole scene in a single thread.
+func UFCLSSequential(f *cube.Cube, t int) (*DetectionResult, error) {
+	if err := validateTargets(f, t); err != nil {
+		return nil, err
+	}
+	res := &DetectionResult{}
+	best, bestScore := 0, -1.0
+	for p := 0; p < f.NumPixels(); p++ {
+		if s := f.Brightness(p); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	appendTarget(res, f, best, bestScore)
+	var u uMatrix
+	u.rows = append(u.rows, toF64(res.Targets[0].Signature))
+	for len(res.Targets) < t {
+		solver := linalg.NewFCLSSolver(ufclsEndmemberMat(u, f.Bands))
+		best, bestScore = -1, -1.0
+		for p := 0; p < f.NumPixels(); p++ {
+			_, err2, err := solver.UnmixF32(f.PixelAt(p))
+			if err != nil {
+				return nil, err
+			}
+			if err2 > bestScore {
+				best, bestScore = p, err2
+			}
+		}
+		appendTarget(res, f, best, bestScore)
+		u.rows = append(u.rows, toF64(res.Targets[len(res.Targets)-1].Signature))
+	}
+	return res, nil
+}
+
+// UFCLSParallel is the Hetero-UFCLS of Algorithm 3 (or its homogeneous
+// version). It must run inside an mpi program; f is required at the root.
+// The result is returned at the root; other ranks return nil.
+func UFCLSParallel(c *mpi.Comm, f *cube.Cube, params DetectionParams, strat partition.Strategy) (*DetectionResult, error) {
+	t := params.Targets
+	if c.Root() {
+		if err := validateTargets(f, t); err != nil {
+			return nil, err
+		}
+	}
+	part, _, geom, err := ScatterCube(c, f, strat, 0)
+	if err != nil {
+		return nil, err
+	}
+	bands := geom[2]
+
+	// Steps 1-3 of Hetero-ATDCA: the brightest pixel seeds U.
+	cand := localBrightest(c, part)
+	cands := mpi.GatherAs(c, 0, tagCandidate, cand, candidateBytes(bands))
+	var res *DetectionResult
+	var u uMatrix
+	if c.Root() {
+		res = &DetectionResult{}
+		best := pickBrightest(c, cands)
+		res.Targets = append(res.Targets, best)
+		u.rows = append(u.rows, toF64(best.Signature))
+	}
+	u = broadcastU(c, u, bands)
+
+	for round := 1; round < t; round++ {
+		// Each worker forms its local error image by fully constrained
+		// unmixing against U and reports the largest-error pixel.
+		cand, err := localMaxError(c, part, u, bands)
+		if err != nil {
+			return nil, err
+		}
+		cands := mpi.GatherAs(c, 0, tagCandidate, cand, candidateBytes(bands))
+		if c.Root() {
+			best, err := pickMaxError(c, cands, u, bands, params.eqBands(bands))
+			if err != nil {
+				return nil, err
+			}
+			res.Targets = append(res.Targets, best)
+			u.rows = append(u.rows, toF64(best.Signature))
+		}
+		u = broadcastU(c, u, bands)
+	}
+	return res, nil
+}
+
+// localMaxError unmixes every owned pixel against U and returns the pixel
+// with the largest reconstruction error.
+func localMaxError(c *mpi.Comm, part LocalPart, u uMatrix, bands int) (candidate, error) {
+	own, err := part.OwnedView()
+	if err != nil {
+		return candidate{}, err
+	}
+	if own == nil {
+		return candidate{}, nil
+	}
+	solver := linalg.NewFCLSSolver(ufclsEndmemberMat(u, bands))
+	t := len(u.rows)
+	c.ComputeFixed(linalg.FlopsGram(t, bands), vtime.Par) // endmember Gram matrix
+	best, bestScore := -1, -1.0
+	for p := 0; p < own.NumPixels(); p++ {
+		_, err2, err := solver.UnmixF32(own.PixelAt(p))
+		if err != nil {
+			return candidate{}, err
+		}
+		if err2 > bestScore {
+			best, bestScore = p, err2
+		}
+	}
+	c.Compute(float64(own.NumPixels())*linalg.FlopsFCLSGram(bands, t), vtime.Par)
+	l, s := own.Coord(best)
+	sig := make([]float32, own.Bands)
+	copy(sig, own.PixelAt(best))
+	return candidate{line: l + part.Owned.Lo, sample: s, score: bestScore, sig: sig, valid: true}, nil
+}
+
+// pickMaxError re-unmixes the candidate pixels at the master and selects
+// the one with the largest error (step 4 of Algorithm 3). Fixed charges
+// use eqBands; see pickMaxProjection.
+func pickMaxError(c *mpi.Comm, cands []candidate, u uMatrix, bands, eqBands int) (Target, error) {
+	solver := linalg.NewFCLSSolver(ufclsEndmemberMat(u, bands))
+	t := len(u.rows)
+	c.ComputeFixed(linalg.FlopsGram(t, eqBands), vtime.Seq)
+	best, bestScore := -1, -1.0
+	for i, cd := range cands {
+		if !cd.valid {
+			continue
+		}
+		_, err2, err := solver.UnmixF32(cd.sig)
+		if err != nil {
+			return Target{}, err
+		}
+		c.ComputeFixed(linalg.FlopsFCLSGram(eqBands, t), vtime.Seq)
+		if err2 > bestScore {
+			best, bestScore = i, err2
+		}
+	}
+	if best < 0 {
+		panic("algo: no valid error candidates")
+	}
+	cd := cands[best]
+	return Target{Line: cd.line, Sample: cd.sample, Score: bestScore, Signature: cd.sig}, nil
+}

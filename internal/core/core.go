@@ -1,0 +1,319 @@
+// Package core orchestrates the paper's primary contribution: running the
+// heterogeneity-aware parallel hyperspectral algorithms (package algo) on
+// simulated parallel platforms (packages platform and mpi) under a chosen
+// partitioning strategy, and collecting the performance figures the
+// paper's evaluation reports — wall time, the COM/SEQ/PAR decomposition of
+// the master's timeline, per-processor run times and load-imbalance
+// ratios.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/cube"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/platform"
+)
+
+// Algorithm names one of the paper's four analysis algorithms.
+type Algorithm string
+
+// The four algorithms of Section 2.2.
+const (
+	ATDCA Algorithm = "ATDCA"
+	UFCLS Algorithm = "UFCLS"
+	PCT   Algorithm = "PCT"
+	MORPH Algorithm = "MORPH"
+)
+
+// Algorithms lists the four algorithms in the order the paper's tables
+// report them.
+var Algorithms = []Algorithm{ATDCA, UFCLS, PCT, MORPH}
+
+// Variant selects the workload partitioning: the heterogeneous WEA
+// (speed-proportional) or the homogeneous equal-share version.
+type Variant string
+
+// The two variants compared throughout Tables 5-7.
+const (
+	Hetero Variant = "Hetero"
+	Homo   Variant = "Homo"
+)
+
+// Variants lists both variants in table order.
+var Variants = []Variant{Hetero, Homo}
+
+// Strategy returns the partition strategy implementing the variant.
+func (v Variant) Strategy() (partition.Strategy, error) {
+	switch v {
+	case Hetero:
+		return partition.Heterogeneous{}, nil
+	case Homo:
+		return partition.Homogeneous{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown variant %q", v)
+	}
+}
+
+// Params bundles the per-algorithm parameters. Zero values select the
+// paper's settings (t=18 targets, c=7 classes, I_max=5).
+type Params struct {
+	// Targets is t for ATDCA and UFCLS.
+	Targets int
+	// EquivalentBands, when nonzero, sets the band count at which
+	// master-side fixed sequential work of the detectors is charged (see
+	// algo.DetectionParams.EquivalentBands).
+	EquivalentBands int
+	// PCT configures the PCT classifier.
+	PCT algo.PCTParams
+	// Morph configures the morphological classifier.
+	Morph algo.MorphParams
+	// WorkScale multiplies every flop charge in the virtual-time model
+	// (0 means 1). The experiment drivers use it to simulate the paper's
+	// full-size scene on a reduced one; see mpi.World.SetComputeScale.
+	WorkScale float64
+	// DataScale multiplies the byte size of pixel-proportional transfers
+	// (0 means 1); see mpi.World.SetDataScale.
+	DataScale float64
+	// Trace, when true, records every virtual-time event of the run and
+	// renders a per-processor activity timeline into RunReport.Timeline.
+	Trace bool
+}
+
+// DefaultParams returns the paper's parameter choices.
+func DefaultParams() Params {
+	return Params{
+		Targets: 18,
+		PCT:     algo.DefaultPCTParams(),
+		Morph:   algo.DefaultMorphParams(),
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Targets == 0 {
+		p.Targets = d.Targets
+	}
+	if p.PCT == (algo.PCTParams{}) {
+		p.PCT = d.PCT
+	}
+	if p.Morph == (algo.MorphParams{}) {
+		p.Morph = d.Morph
+	}
+	return p
+}
+
+// RunReport is the outcome of one simulated run.
+type RunReport struct {
+	Algorithm Algorithm
+	Variant   Variant
+	Network   string
+	Procs     int
+
+	// WallTime is the run's virtual duration in seconds (max over
+	// processors).
+	WallTime float64
+	// Com, Seq, Par decompose the master's timeline (Table 6).
+	Com, Seq, Par float64
+	// ProcTimes are the per-processor completion times.
+	ProcTimes []float64
+	// BusyTimes are the per-processor busy times (completion minus idle),
+	// the run times behind the Table 7 imbalance ratios.
+	BusyTimes []float64
+	// DAll and DMinus are the Table 7 imbalance ratios (1 when the
+	// network has a single processor).
+	DAll, DMinus float64
+
+	// Detection is set for ATDCA and UFCLS runs.
+	Detection *algo.DetectionResult
+	// Classification is set for PCT and MORPH runs.
+	Classification *algo.ClassificationResult
+
+	// Timeline is a per-processor activity chart of the run, rendered
+	// when Params.Trace was set (empty otherwise).
+	Timeline string
+}
+
+// Run executes one algorithm variant on the given network against the
+// scene cube and returns the full report.
+func Run(net *platform.Network, alg Algorithm, variant Variant, f *cube.Cube, params Params) (*RunReport, error) {
+	if net == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("core: nil cube")
+	}
+	params = params.withDefaults()
+	strat, err := variant.Strategy()
+	if err != nil {
+		return nil, err
+	}
+	world := mpi.NewWorld(net)
+	if params.WorkScale > 0 {
+		world.SetComputeScale(params.WorkScale)
+	}
+	if params.DataScale > 0 {
+		world.SetDataScale(params.DataScale)
+	}
+	var trace *mpi.Trace
+	if params.Trace {
+		trace = world.EnableTrace()
+	}
+	program := func(c *mpi.Comm) any {
+		var data *cube.Cube
+		if c.Root() {
+			data = f
+		}
+		switch alg {
+		case ATDCA:
+			r, err := algo.ATDCAParallel(c, data, algo.DetectionParams{Targets: params.Targets, EquivalentBands: params.EquivalentBands}, strat)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		case UFCLS:
+			r, err := algo.UFCLSParallel(c, data, algo.DetectionParams{Targets: params.Targets, EquivalentBands: params.EquivalentBands}, strat)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		case PCT:
+			r, err := algo.PCTParallel(c, data, params.PCT, strat)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		case MORPH:
+			r, err := algo.MorphParallel(c, data, params.Morph, strat)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		default:
+			panic(fmt.Sprintf("core: unknown algorithm %q", alg))
+		}
+	}
+	res, err := world.Run(program)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%s on %s: %w", alg, variant, net.Name, err)
+	}
+	report := &RunReport{
+		Algorithm: alg,
+		Variant:   variant,
+		Network:   net.Name,
+		Procs:     net.Size(),
+		WallTime:  res.WallTime(),
+		ProcTimes: res.ProcTimes(),
+		BusyTimes: res.BusyTimes(),
+	}
+	report.Com, report.Seq, report.Par = res.RootBreakdown()
+	if net.Size() >= 2 {
+		report.DAll, report.DMinus, err = metrics.Imbalance(report.BusyTimes)
+		if err != nil {
+			return nil, fmt.Errorf("core: imbalance: %w", err)
+		}
+	} else {
+		report.DAll, report.DMinus = 1, 1
+	}
+	switch v := res.Root().(type) {
+	case *algo.DetectionResult:
+		report.Detection = v
+	case *algo.ClassificationResult:
+		report.Classification = v
+	default:
+		return nil, fmt.Errorf("core: unexpected result type %T", v)
+	}
+	if trace != nil {
+		report.Timeline = trace.Timeline(net.Size(), 100)
+	}
+	return report, nil
+}
+
+// AdaptiveReport couples a RunReport with the rebalancer's convergence
+// trace.
+type AdaptiveReport struct {
+	RunReport
+	Trace *algo.AdaptiveTrace
+}
+
+// RunAdaptive executes the dynamically load-balanced ATDCA (the paper's
+// future-work direction): equal initial shares, measurement-driven
+// re-partitioning between rounds. See algo.ATDCAAdaptive.
+func RunAdaptive(net *platform.Network, f *cube.Cube, params Params, opts algo.AdaptiveOptions) (*AdaptiveReport, error) {
+	if net == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("core: nil cube")
+	}
+	params = params.withDefaults()
+	world := mpi.NewWorld(net)
+	if params.WorkScale > 0 {
+		world.SetComputeScale(params.WorkScale)
+	}
+	if params.DataScale > 0 {
+		world.SetDataScale(params.DataScale)
+	}
+	type pair struct {
+		det   *algo.DetectionResult
+		trace *algo.AdaptiveTrace
+	}
+	res, err := world.Run(func(c *mpi.Comm) any {
+		var data *cube.Cube
+		if c.Root() {
+			data = f
+		}
+		det, trace, err := algo.ATDCAAdaptive(c, data,
+			algo.DetectionParams{Targets: params.Targets, EquivalentBands: params.EquivalentBands}, opts)
+		if err != nil {
+			panic(err)
+		}
+		return pair{det: det, trace: trace}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: adaptive ATDCA on %s: %w", net.Name, err)
+	}
+	root := res.Root().(pair)
+	report := &AdaptiveReport{Trace: root.trace}
+	report.Algorithm = ATDCA
+	report.Variant = "Adaptive"
+	report.Network = net.Name
+	report.Procs = net.Size()
+	report.WallTime = res.WallTime()
+	report.ProcTimes = res.ProcTimes()
+	report.BusyTimes = res.BusyTimes()
+	report.Com, report.Seq, report.Par = res.RootBreakdown()
+	if net.Size() >= 2 {
+		report.DAll, report.DMinus, err = metrics.Imbalance(report.BusyTimes)
+		if err != nil {
+			return nil, fmt.Errorf("core: imbalance: %w", err)
+		}
+	} else {
+		report.DAll, report.DMinus = 1, 1
+	}
+	report.Detection = root.det
+	return report, nil
+}
+
+// RunSequential executes the single-threaded reference implementation of
+// the algorithm and returns its virtual time on one processor of the
+// given cycle-time — the paper's single-processor baselines (Tables 3, 4
+// and 8 at CPUs=1). It reuses the parallel machinery on a one-node
+// network, which degenerates to the sequential algorithm with zero
+// communication.
+func RunSequential(cycleTime float64, alg Algorithm, f *cube.Cube, params Params) (*RunReport, error) {
+	procs := []platform.Processor{{
+		ID:        1,
+		Name:      "single node",
+		CycleTime: cycleTime,
+		MemoryMB:  1 << 20, // memory bounds are not the subject here
+	}}
+	net, err := platform.New("sequential", procs, [][]float64{{0}}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return Run(net, alg, Hetero, f, params)
+}

@@ -1,0 +1,237 @@
+package cube
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// This file reads and writes the ENVI header format that AVIRIS and most
+// hyperspectral toolchains use: a text ".hdr" file describing geometry,
+// data type, interleave and byte order, next to a flat binary data file.
+
+// ENVIHeader is the subset of ENVI header fields this package handles.
+type ENVIHeader struct {
+	Lines, Samples, Bands int
+	// DataType is the ENVI type code: 1=uint8, 2=int16, 4=float32,
+	// 5=float64, 12=uint16.
+	DataType int
+	// Interleave is bip, bil or bsq.
+	Interleave Interleave
+	// ByteOrder is 0 for little-endian, 1 for big-endian.
+	ByteOrder int
+	// HeaderOffset is the number of bytes to skip in the data file.
+	HeaderOffset int
+	// Description is the free-text description block, if present.
+	Description string
+}
+
+// enviTypeSize maps ENVI data type codes to sample sizes in bytes.
+var enviTypeSize = map[int]int{1: 1, 2: 2, 4: 4, 5: 8, 12: 2}
+
+// ParseENVIHeader parses the text of an ENVI .hdr file.
+func ParseENVIHeader(text string) (*ENVIHeader, error) {
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "ENVI" {
+		return nil, fmt.Errorf("cube: not an ENVI header (missing magic)")
+	}
+	h := &ENVIHeader{Interleave: BIP, DataType: 4}
+	// Re-join continuation blocks in braces: "description = { ... }" may
+	// span lines.
+	var joined []string
+	var pending string
+	inBrace := false
+	for _, ln := range lines[1:] {
+		if inBrace {
+			pending += " " + strings.TrimSpace(ln)
+			if strings.Contains(ln, "}") {
+				joined = append(joined, pending)
+				inBrace = false
+			}
+			continue
+		}
+		if strings.Contains(ln, "{") && !strings.Contains(ln, "}") {
+			pending = strings.TrimSpace(ln)
+			inBrace = true
+			continue
+		}
+		joined = append(joined, strings.TrimSpace(ln))
+	}
+	for _, ln := range joined {
+		if ln == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(ln, "=")
+		if !ok {
+			continue // ENVI headers tolerate stray lines
+		}
+		key := strings.ToLower(strings.TrimSpace(k))
+		val := strings.TrimSpace(v)
+		switch key {
+		case "lines":
+			h.Lines, _ = strconv.Atoi(val)
+		case "samples":
+			h.Samples, _ = strconv.Atoi(val)
+		case "bands":
+			h.Bands, _ = strconv.Atoi(val)
+		case "data type":
+			h.DataType, _ = strconv.Atoi(val)
+		case "interleave":
+			h.Interleave = Interleave(strings.ToLower(val))
+		case "byte order":
+			h.ByteOrder, _ = strconv.Atoi(val)
+		case "header offset":
+			h.HeaderOffset, _ = strconv.Atoi(val)
+		case "description":
+			h.Description = strings.Trim(val, "{} ")
+		}
+	}
+	if h.Lines <= 0 || h.Samples <= 0 || h.Bands <= 0 {
+		return nil, fmt.Errorf("cube: ENVI header missing geometry (lines=%d samples=%d bands=%d)", h.Lines, h.Samples, h.Bands)
+	}
+	if _, ok := enviTypeSize[h.DataType]; !ok {
+		return nil, fmt.Errorf("cube: unsupported ENVI data type %d", h.DataType)
+	}
+	if !h.Interleave.Valid() {
+		return nil, fmt.Errorf("cube: unsupported ENVI interleave %q", h.Interleave)
+	}
+	if h.ByteOrder != 0 && h.ByteOrder != 1 {
+		return nil, fmt.Errorf("cube: unsupported ENVI byte order %d", h.ByteOrder)
+	}
+	return h, nil
+}
+
+// String renders the header in ENVI format.
+func (h *ENVIHeader) String() string {
+	var b strings.Builder
+	b.WriteString("ENVI\n")
+	if h.Description != "" {
+		fmt.Fprintf(&b, "description = { %s }\n", h.Description)
+	}
+	fmt.Fprintf(&b, "samples = %d\n", h.Samples)
+	fmt.Fprintf(&b, "lines = %d\n", h.Lines)
+	fmt.Fprintf(&b, "bands = %d\n", h.Bands)
+	fmt.Fprintf(&b, "header offset = %d\n", h.HeaderOffset)
+	fmt.Fprintf(&b, "data type = %d\n", h.DataType)
+	fmt.Fprintf(&b, "interleave = %s\n", h.Interleave)
+	fmt.Fprintf(&b, "byte order = %d\n", h.ByteOrder)
+	return b.String()
+}
+
+// dataPathFor locates the binary companion of an .hdr path: the same name
+// without .hdr, or with .img/.dat appended.
+func dataPathFor(hdrPath string) (string, error) {
+	base := strings.TrimSuffix(hdrPath, ".hdr")
+	candidates := []string{base, base + ".img", base + ".dat", base + ".raw"}
+	for _, c := range candidates {
+		if c == hdrPath {
+			continue
+		}
+		if _, err := os.Stat(c); err == nil {
+			return c, nil
+		}
+	}
+	return "", fmt.Errorf("cube: no data file next to %s (tried %s)", hdrPath, strings.Join(candidates, ", "))
+}
+
+// LoadENVI reads an ENVI header and its companion data file into a cube,
+// converting any supported data type and interleave to the internal
+// float32 BIP representation.
+func LoadENVI(hdrPath string) (*Cube, *ENVIHeader, error) {
+	text, err := os.ReadFile(hdrPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cube: %w", err)
+	}
+	h, err := ParseENVIHeader(string(text))
+	if err != nil {
+		return nil, nil, err
+	}
+	dataPath, err := dataPathFor(hdrPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := os.ReadFile(dataPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cube: %w", err)
+	}
+	if len(raw) < h.HeaderOffset {
+		return nil, nil, fmt.Errorf("cube: data file shorter than header offset")
+	}
+	raw = raw[h.HeaderOffset:]
+	n := h.Lines * h.Samples * h.Bands
+	size := enviTypeSize[h.DataType]
+	if len(raw) < n*size {
+		return nil, nil, fmt.Errorf("cube: data file has %d bytes, need %d", len(raw), n*size)
+	}
+	var order binary.ByteOrder = binary.LittleEndian
+	if h.ByteOrder == 1 {
+		order = binary.BigEndian
+	}
+	flat := make([]float32, n)
+	for i := 0; i < n; i++ {
+		off := i * size
+		switch h.DataType {
+		case 1:
+			flat[i] = float32(raw[off])
+		case 2:
+			flat[i] = float32(int16(order.Uint16(raw[off:])))
+		case 12:
+			flat[i] = float32(order.Uint16(raw[off:]))
+		case 4:
+			flat[i] = math.Float32frombits(order.Uint32(raw[off:]))
+		case 5:
+			flat[i] = float32(math.Float64frombits(order.Uint64(raw[off:])))
+		}
+	}
+	c, err := FromSamples3D(h.Lines, h.Samples, h.Bands, h.Interleave, flat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, h, nil
+}
+
+// SaveENVI writes the cube as an ENVI pair: basePath.hdr and basePath.img
+// (float32, little-endian, in the given interleave).
+func (c *Cube) SaveENVI(basePath string, il Interleave) error {
+	if !il.Valid() {
+		return fmt.Errorf("cube: unsupported interleave %q", il)
+	}
+	h := &ENVIHeader{
+		Lines: c.Lines, Samples: c.Samples, Bands: c.Bands,
+		DataType: 4, Interleave: il, ByteOrder: 0,
+		Description: "written by hyperhet",
+	}
+	if err := os.WriteFile(basePath+".hdr", []byte(h.String()), 0o644); err != nil {
+		return fmt.Errorf("cube: %w", err)
+	}
+	flat, err := c.Samples3D(il)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(basePath + ".img")
+	if err != nil {
+		return fmt.Errorf("cube: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var buf [4]byte
+	for _, v := range flat {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("cube: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("cube: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cube: closing %s: %w", filepath.Base(basePath)+".img", err)
+	}
+	return nil
+}

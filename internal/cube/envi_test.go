@@ -1,0 +1,165 @@
+package cube
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseENVIHeader(t *testing.T) {
+	text := `ENVI
+description = {
+  AVIRIS subset }
+samples = 512
+lines = 2133
+bands = 224
+header offset = 0
+data type = 2
+interleave = bil
+byte order = 1
+wavelength units = Micrometers
+`
+	h, err := ParseENVIHeader(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Lines != 2133 || h.Samples != 512 || h.Bands != 224 {
+		t.Errorf("geometry %+v", h)
+	}
+	if h.DataType != 2 || h.Interleave != BIL || h.ByteOrder != 1 {
+		t.Errorf("format %+v", h)
+	}
+	if !strings.Contains(h.Description, "AVIRIS") {
+		t.Errorf("description %q", h.Description)
+	}
+}
+
+func TestParseENVIHeaderErrors(t *testing.T) {
+	cases := []string{
+		"NOT ENVI\nlines = 2\n",
+		"ENVI\nsamples = 4\nbands = 2\n",                              // missing lines
+		"ENVI\nlines = 2\nsamples = 4\nbands = 2\ndata type = 99\n",   // bad type
+		"ENVI\nlines = 2\nsamples = 4\nbands = 2\ninterleave = zip\n", // bad interleave
+		"ENVI\nlines = 2\nsamples = 4\nbands = 2\nbyte order = 7\n",   // bad order
+		"ENVI\nlines = 0\nsamples = 4\nbands = 2\ndata type = 4\n",    // zero lines
+	}
+	for _, c := range cases {
+		if _, err := ParseENVIHeader(c); err == nil {
+			t.Errorf("header %q: expected error", c[:20])
+		}
+	}
+}
+
+func TestENVIHeaderStringRoundTrip(t *testing.T) {
+	h := &ENVIHeader{Lines: 3, Samples: 4, Bands: 5, DataType: 4, Interleave: BSQ, Description: "test"}
+	back, err := ParseENVIHeader(h.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Lines != 3 || back.Samples != 4 || back.Bands != 5 || back.Interleave != BSQ {
+		t.Errorf("round trip %+v", back)
+	}
+}
+
+func TestSaveLoadENVIRoundTrip(t *testing.T) {
+	c := MustNew(3, 4, 5)
+	for i := range c.Data {
+		c.Data[i] = float32(math.Cos(float64(i)))
+	}
+	for _, il := range []Interleave{BIP, BIL, BSQ} {
+		base := filepath.Join(t.TempDir(), "scene")
+		if err := c.SaveENVI(base, il); err != nil {
+			t.Fatalf("%s: %v", il, err)
+		}
+		got, h, err := LoadENVI(base + ".hdr")
+		if err != nil {
+			t.Fatalf("%s: %v", il, err)
+		}
+		if h.Interleave != il {
+			t.Errorf("interleave %q round-tripped as %q", il, h.Interleave)
+		}
+		for i := range c.Data {
+			if got.Data[i] != c.Data[i] {
+				t.Fatalf("%s: sample %d mismatch", il, i)
+			}
+		}
+	}
+}
+
+func TestLoadENVIInt16BigEndian(t *testing.T) {
+	// AVIRIS radiance products are big-endian int16 BIL.
+	dir := t.TempDir()
+	hdr := "ENVI\nlines = 2\nsamples = 2\nbands = 2\ndata type = 2\ninterleave = bil\nbyte order = 1\n"
+	if err := os.WriteFile(filepath.Join(dir, "rad.hdr"), []byte(hdr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// BIL order: l0/b0: s0,s1; l0/b1: s0,s1; l1/b0...
+	vals := []int16{100, -200, 300, 400, 500, 600, -700, 800}
+	raw := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(raw[2*i:], uint16(v))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "rad.img"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, h, err := LoadENVI(filepath.Join(dir, "rad.hdr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DataType != 2 {
+		t.Errorf("data type %d", h.DataType)
+	}
+	if c.At(0, 0, 0) != 100 || c.At(0, 1, 0) != -200 {
+		t.Errorf("band 0 line 0 = %v %v", c.At(0, 0, 0), c.At(0, 1, 0))
+	}
+	if c.At(0, 0, 1) != 300 || c.At(1, 0, 0) != 500 || c.At(1, 0, 1) != -700 {
+		t.Errorf("interleave decoding wrong")
+	}
+}
+
+func TestLoadENVIHeaderOffset(t *testing.T) {
+	dir := t.TempDir()
+	hdr := "ENVI\nlines = 1\nsamples = 1\nbands = 2\ndata type = 1\ninterleave = bip\nbyte order = 0\nheader offset = 3\n"
+	if err := os.WriteFile(filepath.Join(dir, "o.hdr"), []byte(hdr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "o.img"), []byte{9, 9, 9, 42, 43}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := LoadENVI(filepath.Join(dir, "o.hdr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0, 0) != 42 || c.At(0, 0, 1) != 43 {
+		t.Errorf("offset decoding wrong: %v", c.Data)
+	}
+}
+
+func TestLoadENVIMissingData(t *testing.T) {
+	dir := t.TempDir()
+	hdr := "ENVI\nlines = 2\nsamples = 2\nbands = 2\ndata type = 4\ninterleave = bip\n"
+	hp := filepath.Join(dir, "x.hdr")
+	if err := os.WriteFile(hp, []byte(hdr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadENVI(hp); err == nil {
+		t.Error("missing data file: expected error")
+	}
+	// Truncated data file.
+	if err := os.WriteFile(filepath.Join(dir, "x.img"), []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadENVI(hp); err == nil {
+		t.Error("truncated data: expected error")
+	}
+}
+
+func TestSaveENVIBadInterleave(t *testing.T) {
+	c := MustNew(1, 1, 1)
+	if err := c.SaveENVI(filepath.Join(t.TempDir(), "x"), Interleave("zip")); err == nil {
+		t.Error("bad interleave: expected error")
+	}
+}

@@ -1,0 +1,144 @@
+package cube
+
+import (
+	"fmt"
+)
+
+// Interleave names a sample ordering of a hyperspectral data stream.
+// AVIRIS products ship in all three; this package stores cubes BIP
+// internally (the pixel vector contiguous) and converts on the way in and
+// out.
+type Interleave string
+
+// The three standard orderings.
+const (
+	// BIP is band-interleaved-by-pixel: [line][sample][band].
+	BIP Interleave = "bip"
+	// BIL is band-interleaved-by-line: [line][band][sample].
+	BIL Interleave = "bil"
+	// BSQ is band-sequential: [band][line][sample].
+	BSQ Interleave = "bsq"
+)
+
+// Valid reports whether the interleave is one of bip, bil, bsq.
+func (il Interleave) Valid() bool { return il == BIP || il == BIL || il == BSQ }
+
+// Samples returns the cube's samples in the given interleave order as a
+// freshly allocated slice.
+func (c *Cube) Samples3D(il Interleave) ([]float32, error) {
+	switch il {
+	case BIP:
+		out := make([]float32, len(c.Data))
+		copy(out, c.Data)
+		return out, nil
+	case BIL:
+		out := make([]float32, len(c.Data))
+		i := 0
+		for l := 0; l < c.Lines; l++ {
+			for b := 0; b < c.Bands; b++ {
+				for s := 0; s < c.Samples; s++ {
+					out[i] = c.At(l, s, b)
+					i++
+				}
+			}
+		}
+		return out, nil
+	case BSQ:
+		out := make([]float32, len(c.Data))
+		i := 0
+		for b := 0; b < c.Bands; b++ {
+			for l := 0; l < c.Lines; l++ {
+				for s := 0; s < c.Samples; s++ {
+					out[i] = c.At(l, s, b)
+					i++
+				}
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("cube: unknown interleave %q", il)
+	}
+}
+
+// FromSamples3D builds a cube from a flat sample slice in the given
+// interleave order.
+func FromSamples3D(lines, samples, bands int, il Interleave, data []float32) (*Cube, error) {
+	if !il.Valid() {
+		return nil, fmt.Errorf("cube: unknown interleave %q", il)
+	}
+	c, err := New(lines, samples, bands)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != len(c.Data) {
+		return nil, fmt.Errorf("%w: %d samples for %dx%dx%d", ErrBadShape, len(data), lines, samples, bands)
+	}
+	switch il {
+	case BIP:
+		copy(c.Data, data)
+	case BIL:
+		i := 0
+		for l := 0; l < lines; l++ {
+			for b := 0; b < bands; b++ {
+				for s := 0; s < samples; s++ {
+					c.Set(l, s, b, data[i])
+					i++
+				}
+			}
+		}
+	case BSQ:
+		i := 0
+		for b := 0; b < bands; b++ {
+			for l := 0; l < lines; l++ {
+				for s := 0; s < samples; s++ {
+					c.Set(l, s, b, data[i])
+					i++
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// SelectBands returns a new cube containing only the given bands, in the
+// given order. Band indices may repeat; each must be in range.
+func (c *Cube) SelectBands(bands []int) (*Cube, error) {
+	if len(bands) == 0 {
+		return nil, fmt.Errorf("%w: no bands selected", ErrBadShape)
+	}
+	for _, b := range bands {
+		if b < 0 || b >= c.Bands {
+			return nil, fmt.Errorf("%w: band %d of %d", ErrBadShape, b, c.Bands)
+		}
+	}
+	out, err := New(c.Lines, c.Samples, len(bands))
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < c.NumPixels(); p++ {
+		src := c.PixelAt(p)
+		dst := out.PixelAt(p)
+		for i, b := range bands {
+			dst[i] = src[b]
+		}
+	}
+	return out, nil
+}
+
+// SpatialSubset returns a deep copy of the rectangle of lines [l0,l1) and
+// samples [s0,s1).
+func (c *Cube) SpatialSubset(l0, l1, s0, s1 int) (*Cube, error) {
+	if l0 < 0 || l1 > c.Lines || l0 >= l1 || s0 < 0 || s1 > c.Samples || s0 >= s1 {
+		return nil, fmt.Errorf("%w: subset [%d,%d)x[%d,%d) of %dx%d", ErrBadShape, l0, l1, s0, s1, c.Lines, c.Samples)
+	}
+	out, err := New(l1-l0, s1-s0, c.Bands)
+	if err != nil {
+		return nil, err
+	}
+	for l := l0; l < l1; l++ {
+		for s := s0; s < s1; s++ {
+			out.SetPixel(l-l0, s-s0, c.Pixel(l, s))
+		}
+	}
+	return out, nil
+}

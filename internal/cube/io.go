@@ -1,0 +1,144 @@
+package cube
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is a simplified ENVI-style pair folded into a single
+// stream: a short ASCII header (key = value lines, terminated by a blank
+// line) followed by raw little-endian float32 samples in BIP interleave.
+// AVIRIS products ship as exactly this kind of header + flat binary pair.
+
+const (
+	headerMagic = "HYPERCUBE"
+	formatBIP   = "bip"
+)
+
+// WriteTo serializes the cube to w. It returns the number of bytes
+// written.
+func (c *Cube) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := fmt.Sprintf("%s\nlines = %d\nsamples = %d\nbands = %d\ninterleave = %s\ndata type = float32\nbyte order = little\n\n",
+		headerMagic, c.Lines, c.Samples, c.Bands, formatBIP)
+	hn, err := io.WriteString(w, hdr)
+	n += int64(hn)
+	if err != nil {
+		return n, fmt.Errorf("cube: writing header: %w", err)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf [4]byte
+	for _, v := range c.Data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		bn, err := bw.Write(buf[:])
+		n += int64(bn)
+		if err != nil {
+			return n, fmt.Errorf("cube: writing samples: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("cube: flushing samples: %w", err)
+	}
+	return n, nil
+}
+
+// Read parses a cube previously serialized with WriteTo.
+func Read(r io.Reader) (*Cube, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("cube: reading magic: %w", err)
+	}
+	if strings.TrimSpace(line) != headerMagic {
+		return nil, fmt.Errorf("cube: bad magic %q", strings.TrimSpace(line))
+	}
+	fields := map[string]string{}
+	for {
+		line, err = br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("cube: reading header: %w", err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("cube: malformed header line %q", line)
+		}
+		fields[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	geom := func(key string) (int, error) {
+		s, ok := fields[key]
+		if !ok {
+			return 0, fmt.Errorf("cube: header missing %q", key)
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("cube: header field %q: %w", key, err)
+		}
+		return v, nil
+	}
+	lines, err := geom("lines")
+	if err != nil {
+		return nil, err
+	}
+	samples, err := geom("samples")
+	if err != nil {
+		return nil, err
+	}
+	bands, err := geom("bands")
+	if err != nil {
+		return nil, err
+	}
+	if il := fields["interleave"]; il != formatBIP {
+		return nil, fmt.Errorf("cube: unsupported interleave %q", il)
+	}
+	if dt := fields["data type"]; dt != "float32" {
+		return nil, fmt.Errorf("cube: unsupported data type %q", dt)
+	}
+	c, err := New(lines, samples, bands)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 4*len(c.Data))
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("cube: reading %d samples: %w", len(c.Data), err)
+	}
+	for i := range c.Data {
+		c.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return c, nil
+}
+
+// Save writes the cube to the named file.
+func (c *Cube) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cube: %w", err)
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cube: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a cube from the named file.
+func Load(path string) (*Cube, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cube: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scene"
+)
+
+// fastConfig shrinks the scenes so the whole suite runs in seconds while
+// keeping the qualitative shapes.
+func fastConfig() Config {
+	return Config{
+		// 64 bands: the ATDCA-slower-than-UFCLS relationship (dense
+		// projector vs Gram-form FCLS) needs a realistic band count.
+		AccuracyScene: scene.Config{Lines: 112, Samples: 80, Bands: 64, Seed: 20010916},
+		// Long thin scenes keep the per-processor partitions deep enough
+		// for the MORPH overlap borders at the paper's processor counts.
+		TimingScene:      scene.Config{Lines: 384, Samples: 16, Bands: 24, Seed: 20010916},
+		ThunderheadScene: scene.Config{Lines: 512, Samples: 16, Bands: 24, Seed: 20010916},
+		Params:           core.DefaultParams(),
+		ThunderheadCPUs:  []int{1, 4, 16},
+	}
+}
+
+func TestScaledParams(t *testing.T) {
+	big := scene.Config{Lines: 100, Samples: 100, Bands: 64}
+	small := scene.Config{Lines: 100, Samples: 100, Bands: 12}
+	p := scaledParams(core.Params{Targets: 18}, big)
+	if p.Targets != 18 {
+		t.Errorf("64 bands should keep t=18, got %d", p.Targets)
+	}
+	p = scaledParams(core.Params{Targets: 18}, small)
+	if p.Targets != 10 {
+		t.Errorf("12 bands should clamp t to 10, got %d", p.Targets)
+	}
+	p = scaledParams(core.Params{}, big)
+	if p.Targets != 18 {
+		t.Errorf("zero targets should default to 18, got %d", p.Targets)
+	}
+	if p.WorkScale <= 1 {
+		t.Errorf("reduced scene should get a work scale above 1, got %v", p.WorkScale)
+	}
+	// The full-size scene simulates itself.
+	full := scene.WTCFull()
+	p = scaledParams(core.Params{}, full)
+	if p.WorkScale != 1 {
+		t.Errorf("full scene work scale = %v, want 1", p.WorkScale)
+	}
+	// An explicit work scale survives.
+	p = scaledParams(core.Params{WorkScale: 2}, big)
+	if p.WorkScale != 2 {
+		t.Errorf("explicit work scale overridden: %v", p.WorkScale)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spots) != 7 {
+		t.Fatalf("%d spots", len(res.Spots))
+	}
+	// ATDCA detects every hot spot nearly exactly.
+	for _, s := range res.Spots {
+		if res.ATDCA[s] > 0.02 {
+			t.Errorf("ATDCA spot %s SAD = %v, want ~0 (Table 3)", s, res.ATDCA[s])
+		}
+	}
+	// UFCLS misses the faint 700F spot 'F' (Table 3: 0.169).
+	if res.UFCLS["F"] < 0.05 {
+		t.Errorf("UFCLS spot F SAD = %v, want a clear miss", res.UFCLS["F"])
+	}
+	// UFCLS is never better than ATDCA on any spot by a wide margin.
+	for _, s := range res.Spots {
+		if res.UFCLS[s] < res.ATDCA[s]-0.02 {
+			t.Errorf("UFCLS beats ATDCA on spot %s (%v vs %v)", s, res.UFCLS[s], res.ATDCA[s])
+		}
+	}
+	// Sequential times: ATDCA is the slower detector (1263 vs 916 s in
+	// the paper).
+	if res.SeqTimeATDCA <= res.SeqTimeUFCLS {
+		t.Errorf("seq ATDCA %v not slower than UFCLS %v", res.SeqTimeATDCA, res.SeqTimeUFCLS)
+	}
+	if res.SeqTimeATDCA <= 0 || res.SeqTimeUFCLS <= 0 {
+		t.Error("non-positive sequential times")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	// Table 4's endmember extraction quality depends on the debris-field
+	// patch geometry; run it on the tuned default scene rather than the
+	// thin fast-config one.
+	cfg := fastConfig()
+	cfg.AccuracyScene = scene.WTCDefault()
+	res, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 7 || len(res.PCT) != 7 || len(res.Morph) != 7 {
+		t.Fatalf("class vectors wrong length")
+	}
+	// MORPH improves on PCT overall (Table 4: ~93% vs ~80%).
+	if res.OverallMorph <= res.OverallPCT {
+		t.Errorf("MORPH overall %v not above PCT %v", res.OverallMorph, res.OverallPCT)
+	}
+	if res.OverallMorph < 60 {
+		t.Errorf("MORPH overall %v implausibly low", res.OverallMorph)
+	}
+	for k, v := range res.PCT {
+		if v < 0 || v > 100 {
+			t.Errorf("PCT class %d accuracy %v out of range", k, v)
+		}
+	}
+	// MORPH (windowing over I_max iterations) costs more sequentially
+	// (2334 vs 1884 s in the paper).
+	if res.SeqTimeMorph <= res.SeqTimePCT {
+		t.Errorf("seq MORPH %v not slower than PCT %v", res.SeqTimeMorph, res.SeqTimePCT)
+	}
+}
+
+func TestNetworkSuiteShape(t *testing.T) {
+	res, err := NetworkSuite(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Networks) != 4 {
+		t.Fatalf("%d networks", len(res.Networks))
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byKey := map[string]SuiteRow{}
+	for _, r := range res.Rows {
+		byKey[string(r.Variant)+"-"+string(r.Algorithm)] = r
+		if len(r.PerNetwork) != 4 {
+			t.Fatalf("row %s/%s has %d cells", r.Algorithm, r.Variant, len(r.PerNetwork))
+		}
+	}
+	const fullyHet, fullyHomo, partHet = 0, 1, 2
+	for _, alg := range core.Algorithms {
+		het := byKey["Hetero-"+string(alg)]
+		hom := byKey["Homo-"+string(alg)]
+		// Homo on the (fully or partially) heterogeneous platform is
+		// far slower than on the homogeneous one (Table 5's dominant
+		// feature: the slowest processor bounds equal shares).
+		if hom.PerNetwork[fullyHet].Wall < 2*hom.PerNetwork[fullyHomo].Wall {
+			t.Errorf("%s: Homo on fully-het %v not >> fully-homo %v",
+				alg, hom.PerNetwork[fullyHet].Wall, hom.PerNetwork[fullyHomo].Wall)
+		}
+		if hom.PerNetwork[partHet].Wall < 2*hom.PerNetwork[fullyHomo].Wall {
+			t.Errorf("%s: Homo on partially-het %v not >> fully-homo %v",
+				alg, hom.PerNetwork[partHet].Wall, hom.PerNetwork[fullyHomo].Wall)
+		}
+		// Hetero adapts: on the heterogeneous platforms it beats Homo
+		// decisively.
+		if het.PerNetwork[fullyHet].Wall >= hom.PerNetwork[fullyHet].Wall/2 {
+			t.Errorf("%s: Hetero on fully-het %v not well below Homo %v",
+				alg, het.PerNetwork[fullyHet].Wall, hom.PerNetwork[fullyHet].Wall)
+		}
+		// Hetero stays of the same order across all networks (paper:
+		// 84/89/87/88-style rows).
+		min, max := het.PerNetwork[0].Wall, het.PerNetwork[0].Wall
+		for _, c := range het.PerNetwork {
+			if c.Wall < min {
+				min = c.Wall
+			}
+			if c.Wall > max {
+				max = c.Wall
+			}
+		}
+		if max > 2*min {
+			t.Errorf("%s: Hetero times vary too much across networks (%v..%v)", alg, min, max)
+		}
+		// Communication is a minor share everywhere (Table 6).
+		for i, cell := range het.PerNetwork {
+			total := cell.Com + cell.Seq + cell.Par
+			if cell.Com > 0.5*total {
+				t.Errorf("%s hetero on %s: COM %v dominates total %v", alg, res.Networks[i], cell.Com, total)
+			}
+		}
+		// Imbalance: Homo on the fully heterogeneous network is far from
+		// balanced; Hetero is much closer to 1 (Table 7).
+		if hom.PerNetwork[fullyHet].DAll < het.PerNetwork[fullyHet].DAll {
+			t.Errorf("%s: Homo D_all %v below Hetero %v on fully-het",
+				alg, hom.PerNetwork[fullyHet].DAll, het.PerNetwork[fullyHet].DAll)
+		}
+	}
+	// MORPH is the best balanced heterogeneous algorithm (Table 7).
+	morph := byKey["Hetero-MORPH"]
+	for _, alg := range []core.Algorithm{core.PCT} {
+		other := byKey["Hetero-"+string(alg)]
+		if morph.PerNetwork[fullyHet].DMinus > other.PerNetwork[fullyHet].DMinus+0.15 {
+			t.Errorf("MORPH D_minus %v not among the best (vs %s %v)",
+				morph.PerNetwork[fullyHet].DMinus, alg, other.PerNetwork[fullyHet].DMinus)
+		}
+	}
+}
+
+func TestThunderheadShape(t *testing.T) {
+	res, err := Thunderhead(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CPUs) != 3 {
+		t.Fatalf("%d CPU counts", len(res.CPUs))
+	}
+	for _, alg := range core.Algorithms {
+		times := res.Times[alg]
+		if len(times) != 3 {
+			t.Fatalf("%s: %d times", alg, len(times))
+		}
+		// Times decrease with processors; speedups increase.
+		for i := 1; i < len(times); i++ {
+			if times[i] >= times[i-1] {
+				t.Errorf("%s: time did not decrease from P=%d to P=%d (%v -> %v)",
+					alg, res.CPUs[i-1], res.CPUs[i], times[i-1], times[i])
+			}
+		}
+		sp := res.Speedups[alg]
+		if sp[0] != 1 {
+			t.Errorf("%s: speedup at P=1 is %v", alg, sp[0])
+		}
+		if sp[2] <= sp[1] {
+			t.Errorf("%s: speedup not increasing: %v", alg, sp)
+		}
+	}
+	// Figure 2: every algorithm scales within a plausible band of the
+	// processor count. (The paper's strict ordering — MORPH best, PCT
+	// worst — depends on sequential residues our PCT implementation does
+	// not have; see the deviations section of EXPERIMENTS.md.)
+	last := len(res.CPUs) - 1
+	p := float64(res.CPUs[last])
+	for _, alg := range core.Algorithms {
+		sp := res.Speedups[alg][last]
+		if sp < 0.4*p || sp > 1.5*p {
+			t.Errorf("%s speedup %v implausible at P=%v", alg, sp, p)
+		}
+	}
+}
+
+func TestThunderheadRequiresBaseline(t *testing.T) {
+	cfg := fastConfig()
+	cfg.ThunderheadCPUs = []int{4, 16}
+	if _, err := Thunderhead(cfg); err == nil {
+		t.Error("CPU list without 1: expected error")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.AccuracyScene.Lines == 0 || cfg.TimingScene.Lines == 0 || cfg.ThunderheadScene.Lines == 0 {
+		t.Error("default scenes unset")
+	}
+	if len(cfg.ThunderheadCPUs) != 9 || cfg.ThunderheadCPUs[8] != 256 {
+		t.Errorf("ThunderheadCPUs = %v, want the paper's 9 counts up to 256", cfg.ThunderheadCPUs)
+	}
+	if cfg.ThunderheadScene.Lines < 256 {
+		t.Error("Thunderhead scene too short for 256 partitions")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// The whole pipeline — scene generation, detection, virtual timing —
+	// is bit-for-bit reproducible.
+	cfg := fastConfig()
+	a, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SeqTimeATDCA != b.SeqTimeATDCA || a.SeqTimeUFCLS != b.SeqTimeUFCLS {
+		t.Error("sequential times differ across identical runs")
+	}
+	for _, s := range a.Spots {
+		if a.ATDCA[s] != b.ATDCA[s] || a.UFCLS[s] != b.UFCLS[s] {
+			t.Errorf("spot %s scores differ across identical runs", s)
+		}
+	}
+}
+
+func TestOptimalityRatios(t *testing.T) {
+	res, err := NetworkSuite(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := res.OptimalityRatios()
+	if len(ratios) != 4 {
+		t.Fatalf("%d ratios", len(ratios))
+	}
+	// The paper's headline: heterogeneous algorithms are close to the
+	// optimal heterogeneous modification of the homogeneous ones (its
+	// ratios are 1.02-1.05). Our platform model has a different aggregate
+	// power balance, so allow a generous band around 1.
+	for alg, v := range ratios {
+		if v < 0.4 || v > 1.5 {
+			t.Errorf("%s optimality ratio %v outside the plausible band", alg, v)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: Values[i] is
+// the i-th eigenvalue and the i-th column of Vectors the corresponding
+// unit eigenvector, sorted by decreasing eigenvalue (the order the PCT
+// uses to rank principal components by explained variance).
+type Eigen struct {
+	Values  []float64
+	Vectors *Mat // n x n, eigenvectors in columns
+}
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration; 30 sweeps is far
+// beyond what a few-hundred-band covariance matrix needs to converge.
+const maxJacobiSweeps = 30
+
+// SymEigen computes the eigendecomposition of symmetric matrix a by the
+// cyclic Jacobi method. The input must be symmetric; asymmetry beyond
+// floating-point noise is reported as an error.
+func SymEigen(a *Mat) (*Eigen, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: SymEigen of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Symmetry tolerance scaled to the matrix magnitude.
+	var scale float64
+	for _, v := range a.Data {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	tol := 1e-9 * math.Max(scale, 1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tol {
+				return nil, fmt.Errorf("linalg: SymEigen input not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	w := a.Clone()
+	v := Identity(n)
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*math.Max(scale*scale, 1) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	eig := &Eigen{Values: make([]float64, n), Vectors: NewMat(n, n)}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = w.At(i, i)
+	}
+	sort.Slice(order, func(x, y int) bool { return diag[order[x]] > diag[order[y]] })
+	for rank, idx := range order {
+		eig.Values[rank] = diag[idx]
+		for r := 0; r < n; r++ {
+			eig.Vectors.Set(r, rank, v.At(r, idx))
+		}
+	}
+	return eig, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) to w (two-sided) and
+// accumulates it into the eigenvector matrix v (right side only).
+func rotate(w, v *Mat, p, q int, c, s float64) {
+	n := w.Rows
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// FlopsSymEigen estimates the cost of a Jacobi eigendecomposition of an
+// n x n symmetric matrix (a handful of O(n) rotations for each of the
+// n(n-1)/2 pairs, over a small number of sweeps).
+func FlopsSymEigen(n int) float64 {
+	nf := float64(n)
+	const sweeps = 8 // typical sweeps to convergence
+	return sweeps * nf * (nf - 1) / 2 * 12 * nf
+}

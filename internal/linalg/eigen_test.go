@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := MatFromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if !almostEq(e.Values[i], v, 1e-10) {
+			t.Errorf("eigenvalue %d = %v, want %v", i, e.Values[i], v)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+	a := MatFromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(e.Values[0], 3, 1e-10) || !almostEq(e.Values[1], 1, 1e-10) {
+		t.Errorf("eigenvalues = %v", e.Values)
+	}
+	// Leading eigenvector is (1,1)/sqrt(2) up to sign.
+	v0 := []float64{e.Vectors.At(0, 0), e.Vectors.At(1, 0)}
+	if !almostEq(math.Abs(v0[0]), 1/math.Sqrt2, 1e-9) || !almostEq(math.Abs(v0[1]), 1/math.Sqrt2, 1e-9) {
+		t.Errorf("leading eigenvector = %v", v0)
+	}
+}
+
+func TestSymEigenRejectsBadInput(t *testing.T) {
+	if _, err := SymEigen(NewMat(2, 3)); err == nil {
+		t.Error("non-square: expected error")
+	}
+	asym := MatFromRows([][]float64{{1, 2}, {5, 1}})
+	if _, err := SymEigen(asym); err == nil {
+		t.Error("asymmetric: expected error")
+	}
+}
+
+// reconstructs A from the decomposition and compares.
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(10)
+		// Build a random symmetric matrix B = C + C^T.
+		c := randMat(rng, n, n)
+		a := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, c.At(i, j)+c.At(j, i))
+			}
+		}
+		e, err := SymEigen(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Reconstruct V diag(values) V^T.
+		d := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, e.Values[i])
+		}
+		rec := Mul(Mul(e.Vectors, d), e.Vectors.T())
+		if !matsAlmostEq(rec, a, 1e-7) {
+			t.Fatalf("trial %d: reconstruction failed", trial)
+		}
+		// Eigenvalues sorted descending.
+		for i := 1; i < n; i++ {
+			if e.Values[i] > e.Values[i-1]+1e-12 {
+				t.Fatalf("trial %d: eigenvalues not sorted: %v", trial, e.Values)
+			}
+		}
+	}
+}
+
+func TestSymEigenVectorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 12
+	c := randMat(rng, n, n)
+	a := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, c.At(i, j)+c.At(j, i))
+		}
+	}
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtv := Mul(e.Vectors.T(), e.Vectors)
+	if !matsAlmostEq(vtv, Identity(n), 1e-8) {
+		t.Error("eigenvector matrix not orthonormal")
+	}
+}
+
+func TestSymEigenCovarianceLike(t *testing.T) {
+	// A covariance-like PSD matrix: eigenvalues must be non-negative.
+	rng := rand.New(rand.NewSource(29))
+	x := randMat(rng, 30, 6)
+	cov := Mul(x.T(), x)
+	e, err := SymEigen(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range e.Values {
+		if v < -1e-8 {
+			t.Errorf("eigenvalue %d = %v negative for PSD input", i, v)
+		}
+	}
+}

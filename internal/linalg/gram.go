@@ -1,0 +1,391 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the Gram-form constrained least squares used by the
+// UFCLS hot loop. UFCLS re-unmixes every pixel against the current
+// endmember set at every outer iteration; solving NNLS through the
+// precomputed Gram matrix M^T M removes the band dimension from the inner
+// iteration entirely (the classical normal-equations formulation of
+// Lawson-Hanson), which is the difference between minutes and seconds on
+// the full scene.
+
+// NNLSGram solves min ||A x - b||^2 s.t. x >= 0 given only the Gram
+// matrix ata = A^T A (n x n, SPD) and atb = A^T b. It is algebraically
+// the Lawson-Hanson active-set method: the dual vector is
+// w = atb - ata*x and each passive-set solve uses the corresponding
+// submatrix of ata.
+func NNLSGram(ata *Mat, atb []float64) ([]float64, error) {
+	n := ata.Rows
+	if ata.Cols != n || len(atb) != n {
+		return nil, fmt.Errorf("linalg: NNLSGram shape mismatch %dx%d with %d", ata.Rows, ata.Cols, len(atb))
+	}
+	x := make([]float64, n)
+	passive := make([]bool, n)
+	w := make([]float64, n)
+	computeW := func() {
+		for j := 0; j < n; j++ {
+			s := atb[j]
+			row := ata.Row(j)
+			for k := 0; k < n; k++ {
+				if x[k] != 0 {
+					s -= row[k] * x[k]
+				}
+			}
+			w[j] = s
+		}
+	}
+	solvePassive := func() ([]float64, []int, error) {
+		var idx []int
+		for j := 0; j < n; j++ {
+			if passive[j] {
+				idx = append(idx, j)
+			}
+		}
+		k := len(idx)
+		if k == 0 {
+			return nil, nil, nil
+		}
+		sub := NewMat(k, k)
+		rhs := make([]float64, k)
+		for p := 0; p < k; p++ {
+			for q := 0; q < k; q++ {
+				sub.Set(p, q, ata.At(idx[p], idx[q]))
+			}
+			// Relative ridge: keeps nearly collinear endmembers solvable
+			// without distorting well-conditioned systems.
+			sub.Set(p, p, sub.At(p, p)*(1+1e-10)+1e-12)
+			rhs[p] = atb[idx[p]]
+		}
+		z, err := SolveSPD(sub, rhs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return z, idx, nil
+	}
+
+	const tol = 1e-10
+	for outer := 0; outer < nnlsMaxOuter(n); outer++ {
+		computeW()
+		best, bestW := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best < 0 {
+			return x, nil
+		}
+		passive[best] = true
+		for {
+			z, idx, err := solvePassive()
+			if err != nil {
+				return nil, err
+			}
+			neg := false
+			for p := range idx {
+				if z[p] <= tol {
+					neg = true
+					break
+				}
+			}
+			if !neg {
+				for j := range x {
+					x[j] = 0
+				}
+				for p, j := range idx {
+					x[j] = z[p]
+				}
+				break
+			}
+			alpha := math.Inf(1)
+			for p, j := range idx {
+				if z[p] <= tol {
+					den := x[j] - z[p]
+					if den > 0 {
+						if r := x[j] / den; r < alpha {
+							alpha = r
+						}
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for p, j := range idx {
+				x[j] += alpha * (z[p] - x[j])
+				if x[j] <= tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+	}
+	// Iteration cap hit (rare numerical cycling): the current iterate is
+	// feasible and near-optimal; return it rather than failing the whole
+	// image over one pathological pixel.
+	return x, nil
+}
+
+// FCLSSolver unmixes pixels against a fixed endmember set under the fully
+// constrained (non-negative, sum-to-one) linear mixture model, amortizing
+// the endmember Gram matrix across pixels.
+//
+// A solver carries preallocated workspaces (UFCLS unmixes every pixel of
+// the scene each round, so per-call allocation would dominate), which
+// makes it single-goroutine: create one solver per worker.
+type FCLSSolver struct {
+	m   *Mat // bands x t endmembers, one per column
+	ata *Mat // augmented Gram: M^T M + delta^2 * 1 1^T
+	ws  nnlsWorkspace
+	atb []float64
+	y64 []float64
+}
+
+// nnlsWorkspace holds the per-solve scratch of the Gram-form
+// Lawson-Hanson iteration.
+type nnlsWorkspace struct {
+	x, w, z, rhs, chy []float64
+	passive           []bool
+	idx               []int
+	sub, chol         *Mat
+}
+
+func newNNLSWorkspace(n int) nnlsWorkspace {
+	return nnlsWorkspace{
+		x:       make([]float64, n),
+		w:       make([]float64, n),
+		z:       make([]float64, n),
+		rhs:     make([]float64, n),
+		chy:     make([]float64, n),
+		passive: make([]bool, n),
+		idx:     make([]int, 0, n),
+		sub:     NewMat(n, n),
+		chol:    NewMat(n, n),
+	}
+}
+
+// solve runs Gram-form Lawson-Hanson using the workspace; the returned
+// slice aliases the workspace and is valid until the next call.
+func (ws *nnlsWorkspace) solve(ata *Mat, atb []float64) ([]float64, error) {
+	n := ata.Rows
+	x := ws.x[:n]
+	w := ws.w[:n]
+	passive := ws.passive[:n]
+	for j := 0; j < n; j++ {
+		x[j] = 0
+		passive[j] = false
+	}
+	const tol = 1e-10
+	for outer := 0; outer < nnlsMaxOuter(n); outer++ {
+		// Dual vector w = atb - ata*x.
+		for j := 0; j < n; j++ {
+			s := atb[j]
+			row := ata.Row(j)
+			for k := 0; k < n; k++ {
+				if x[k] != 0 {
+					s -= row[k] * x[k]
+				}
+			}
+			w[j] = s
+		}
+		best, bestW := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best < 0 {
+			return x, nil
+		}
+		passive[best] = true
+		for {
+			idx := ws.idx[:0]
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					idx = append(idx, j)
+				}
+			}
+			k := len(idx)
+			if k == 0 {
+				break
+			}
+			z, err := ws.solvePassive(ata, atb, idx)
+			if err != nil {
+				return nil, err
+			}
+			neg := false
+			for p := 0; p < k; p++ {
+				if z[p] <= tol {
+					neg = true
+					break
+				}
+			}
+			if !neg {
+				for j := range x {
+					x[j] = 0
+				}
+				for p, j := range idx {
+					x[j] = z[p]
+				}
+				break
+			}
+			alpha := math.Inf(1)
+			for p, j := range idx {
+				if z[p] <= tol {
+					den := x[j] - z[p]
+					if den > 0 {
+						if r := x[j] / den; r < alpha {
+							alpha = r
+						}
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for p, j := range idx {
+				x[j] += alpha * (z[p] - x[j])
+				if x[j] <= tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+	}
+	return x, nil
+}
+
+// solvePassive solves the passive-set normal equations with an in-place
+// Cholesky factorization in the workspace.
+func (ws *nnlsWorkspace) solvePassive(ata *Mat, atb []float64, idx []int) ([]float64, error) {
+	k := len(idx)
+	sub := ws.sub
+	rhs := ws.rhs[:k]
+	for p := 0; p < k; p++ {
+		for q := 0; q < k; q++ {
+			sub.Data[p*sub.Cols+q] = ata.At(idx[p], idx[q])
+		}
+		sub.Data[p*sub.Cols+p] = sub.Data[p*sub.Cols+p]*(1+1e-10) + 1e-12
+		rhs[p] = atb[idx[p]]
+	}
+	// Cholesky of the k x k leading block of sub (stride sub.Cols).
+	l := ws.chol
+	stride := l.Cols
+	for i := 0; i < k; i++ {
+		for j := 0; j <= i; j++ {
+			sum := sub.Data[i*sub.Cols+j]
+			for t := 0; t < j; t++ {
+				sum -= l.Data[i*stride+t] * l.Data[j*stride+t]
+			}
+			if i == j {
+				if sum <= 1e-14 {
+					return nil, ErrSingular
+				}
+				l.Data[i*stride+i] = math.Sqrt(sum)
+			} else {
+				l.Data[i*stride+j] = sum / l.Data[j*stride+j]
+			}
+		}
+	}
+	y := ws.chy[:k]
+	for i := 0; i < k; i++ {
+		sum := rhs[i]
+		for t := 0; t < i; t++ {
+			sum -= l.Data[i*stride+t] * y[t]
+		}
+		y[i] = sum / l.Data[i*stride+i]
+	}
+	z := ws.z[:k]
+	for i := k - 1; i >= 0; i-- {
+		sum := y[i]
+		for t := i + 1; t < k; t++ {
+			sum -= l.Data[t*stride+i] * z[t]
+		}
+		z[i] = sum / l.Data[i*stride+i]
+	}
+	return z, nil
+}
+
+// NewFCLSSolver precomputes the augmented Gram matrix for the endmember
+// matrix m (bands x t, one endmember per column).
+func NewFCLSSolver(m *Mat) *FCLSSolver {
+	t := m.Cols
+	ata := NewMat(t, t)
+	for i := 0; i < t; i++ {
+		for j := i; j < t; j++ {
+			var s float64
+			for b := 0; b < m.Rows; b++ {
+				s += m.At(b, i) * m.At(b, j)
+			}
+			s += FCLSDelta * FCLSDelta
+			ata.Set(i, j, s)
+			ata.Set(j, i, s)
+		}
+	}
+	return &FCLSSolver{
+		m:   m,
+		ata: ata,
+		ws:  newNNLSWorkspace(t),
+		atb: make([]float64, t),
+		y64: make([]float64, m.Rows),
+	}
+}
+
+// Endmembers returns the number of endmembers t.
+func (f *FCLSSolver) Endmembers() int { return f.m.Cols }
+
+// Bands returns the band count of the endmember matrix.
+func (f *FCLSSolver) Bands() int { return f.m.Rows }
+
+// Unmix solves FCLS for pixel y, returning the abundance vector and the
+// squared reconstruction error ||M alpha - y||^2. The returned abundance
+// slice aliases the solver's workspace and is only valid until the next
+// Unmix call; copy it if it must outlive the call.
+func (f *FCLSSolver) Unmix(y []float64) (alpha []float64, err2 float64, err error) {
+	if len(y) != f.m.Rows {
+		return nil, 0, fmt.Errorf("linalg: Unmix on %d-vector, want %d bands", len(y), f.m.Rows)
+	}
+	t := f.m.Cols
+	// Augmented A^T b = M^T y + delta^2 (sum-to-one row contributes
+	// delta * delta*1).
+	atb := f.atb[:t]
+	for j := 0; j < t; j++ {
+		var s float64
+		for b := 0; b < f.m.Rows; b++ {
+			s += f.m.At(b, j) * y[b]
+		}
+		atb[j] = s + FCLSDelta*FCLSDelta
+	}
+	alpha, errSolve := f.ws.solve(f.ata, atb)
+	if errSolve != nil {
+		return nil, 0, errSolve
+	}
+	// Error in the original (unaugmented) system.
+	err2 = ReconstructionError(f.m, alpha, y)
+	return alpha, err2, nil
+}
+
+// UnmixF32 is Unmix for a float32 pixel vector; the same workspace
+// aliasing rules apply.
+func (f *FCLSSolver) UnmixF32(y []float32) (alpha []float64, err2 float64, err error) {
+	tmp := f.y64[:len(y)]
+	for i, v := range y {
+		tmp[i] = float64(v)
+	}
+	return f.Unmix(tmp)
+}
+
+// FlopsFCLSGram is the per-pixel cost of the Gram-form FCLS: forming
+// M^T y and the residual in the band dimension, plus the t-dimensional
+// active-set iteration.
+func FlopsFCLSGram(bands, t int) float64 {
+	bf, tf := float64(bands), float64(t)
+	inner := tf/2 + 2 // typical active-set iterations
+	return 2*bf*tf +  // M^T y
+		2*bf*tf + // reconstruction error
+		inner*(2*tf*tf+tf*tf*tf/6) // dual vector + Cholesky solves
+}

@@ -1,0 +1,167 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNNLSGramMatchesNNLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		m, n := 5+rng.Intn(10), 1+rng.Intn(5)
+		a := randMat(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := NNLS(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: NNLS: %v", trial, err)
+		}
+		ata := Mul(a.T(), a)
+		atb := MulVec(a.T(), b)
+		got, err := NNLSGram(ata, atb)
+		if err != nil {
+			t.Fatalf("trial %d: NNLSGram: %v", trial, err)
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-6 {
+				t.Fatalf("trial %d: Gram-form solution %v differs from dense %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestNNLSGramShapeMismatch(t *testing.T) {
+	if _, err := NNLSGram(NewMat(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square Gram: expected error")
+	}
+	if _, err := NNLSGram(NewMat(2, 2), []float64{1}); err == nil {
+		t.Error("wrong atb length: expected error")
+	}
+}
+
+func TestFCLSSolverMatchesFCLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	bands, tEnd := 24, 5
+	m := NewMat(bands, tEnd)
+	for i := range m.Data {
+		m.Data[i] = math.Abs(rng.NormFloat64()) + 0.05
+	}
+	solver := NewFCLSSolver(m)
+	if solver.Endmembers() != tEnd || solver.Bands() != bands {
+		t.Fatalf("solver geometry %d/%d", solver.Endmembers(), solver.Bands())
+	}
+	for trial := 0; trial < 10; trial++ {
+		y := make([]float64, bands)
+		for i := range y {
+			y[i] = math.Abs(rng.NormFloat64())
+		}
+		want, err := FCLS(m, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := solver.Unmix(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-5 {
+				t.Fatalf("trial %d: solver %v vs dense %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestFCLSSolverRecoversMixture(t *testing.T) {
+	bands := 30
+	m := NewMat(bands, 3)
+	for i := 0; i < bands; i++ {
+		x := float64(i) / float64(bands-1)
+		m.Set(i, 0, 0.9-0.5*x)
+		m.Set(i, 1, 0.2+0.7*x)
+		m.Set(i, 2, 0.5+0.4*math.Sin(3*x))
+	}
+	truth := []float64{0.25, 0.45, 0.30}
+	y := MulVec(m, truth)
+	solver := NewFCLSSolver(m)
+	alpha, err2, err := solver.Unmix(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range truth {
+		if math.Abs(alpha[j]-truth[j]) > 2e-3 {
+			t.Errorf("alpha[%d] = %v, want %v", j, alpha[j], truth[j])
+		}
+	}
+	if err2 > 1e-6 {
+		t.Errorf("reconstruction error %v for exact mixture", err2)
+	}
+}
+
+func TestFCLSSolverErrorDetectsShadow(t *testing.T) {
+	// A pixel that is a scaled-down version of an endmember cannot be
+	// explained under the sum-to-one constraint: its reconstruction
+	// error must far exceed that of a genuine mixture. This is the
+	// mechanism that makes UFCLS chase shadow pixels (Table 3).
+	bands := 20
+	m := NewMat(bands, 2)
+	for i := 0; i < bands; i++ {
+		x := float64(i) / float64(bands-1)
+		m.Set(i, 0, 0.8-0.3*x)
+		m.Set(i, 1, 0.2+0.6*x)
+	}
+	solver := NewFCLSSolver(m)
+	mixture := MulVec(m, []float64{0.5, 0.5})
+	shadow := make([]float64, bands)
+	for i := range shadow {
+		shadow[i] = 0.2 * m.At(i, 0) // deep shadow of endmember 0
+	}
+	_, errMix, err := solver.Unmix(mixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errShadow, err := solver.Unmix(shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errShadow < 10*errMix+1e-9 {
+		t.Errorf("shadow error %v not far above mixture error %v", errShadow, errMix)
+	}
+}
+
+func TestFCLSSolverUnmixF32(t *testing.T) {
+	m := MatFromRows([][]float64{{1, 0}, {0, 1}, {0.5, 0.5}})
+	solver := NewFCLSSolver(m)
+	// Use dyadic values so float32 -> float64 conversion is exact.
+	a32, e32, err := solver.UnmixF32([]float32{0.625, 0.375, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a64, e64, err := solver.Unmix([]float64{0.625, 0.375, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a64 {
+		if math.Abs(a32[j]-a64[j]) > 1e-9 {
+			t.Error("float32 path diverges")
+		}
+	}
+	if math.Abs(e32-e64) > 1e-12 {
+		t.Error("float32 error diverges")
+	}
+}
+
+func TestFCLSSolverWrongLength(t *testing.T) {
+	solver := NewFCLSSolver(NewMat(4, 2))
+	if _, _, err := solver.Unmix([]float64{1, 2}); err == nil {
+		t.Error("wrong length: expected error")
+	}
+}
+
+func TestFlopsFCLSGramCheaperThanDense(t *testing.T) {
+	if FlopsFCLSGram(224, 18) >= FlopsFCLS(224, 18) {
+		t.Error("Gram-form FCLS should be cheaper than dense for large band counts")
+	}
+}

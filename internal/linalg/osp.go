@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"fmt"
+)
+
+// OSP is the orthogonal subspace projector P⊥_U = I - U^T (U U^T)^-1 U of
+// Algorithm 2 (ATDCA), for a t x n matrix U whose rows are the target
+// signatures found so far.
+//
+// The projector is never materialized as an n x n matrix: applying it to a
+// pixel y costs O(t*n + t^2) as r = y - U^T * ((U U^T)^-1 * (U * y)).
+type OSP struct {
+	u    *Mat // t x n
+	gInv *Mat // (U U^T)^-1, t x t
+}
+
+// NewOSP builds the projector for the given target matrix. It fails if
+// the Gram matrix U U^T is singular (duplicate or linearly dependent
+// targets).
+func NewOSP(u *Mat) (*OSP, error) {
+	if u.Rows == 0 {
+		return nil, fmt.Errorf("linalg: OSP of empty target set")
+	}
+	gInv, err := Inverse(Gram(u))
+	if err != nil {
+		return nil, fmt.Errorf("linalg: OSP targets are linearly dependent: %w", err)
+	}
+	return &OSP{u: u, gInv: gInv}, nil
+}
+
+// Targets returns the number of rows t of U.
+func (p *OSP) Targets() int { return p.u.Rows }
+
+// Bands returns the signature length n.
+func (p *OSP) Bands() int { return p.u.Cols }
+
+// Apply projects y onto the orthogonal complement of the row space of U,
+// writing the residual into dst (which must have length n) and returning
+// its squared norm — the ATDCA score (P⊥_U y)^T (P⊥_U y). dst may be nil,
+// in which case only the score is returned.
+func (p *OSP) Apply(y []float64, dst []float64) float64 {
+	if len(y) != p.u.Cols {
+		panic(fmt.Sprintf("linalg: OSP.Apply on %d-vector, want %d", len(y), p.u.Cols))
+	}
+	// c = U y (t), d = gInv c (t), r = y - U^T d.
+	c := MulVec(p.u, y)
+	d := MulVec(p.gInv, c)
+	var norm float64
+	for j := 0; j < p.u.Cols; j++ {
+		r := y[j]
+		for i := 0; i < p.u.Rows; i++ {
+			r -= p.u.At(i, j) * d[i]
+		}
+		if dst != nil {
+			dst[j] = r
+		}
+		norm += r * r
+	}
+	return norm
+}
+
+// ApplyF32 is Apply for a float32 pixel vector, converting on the fly.
+func (p *OSP) ApplyF32(y []float32) float64 {
+	tmp := make([]float64, len(y))
+	for i, v := range y {
+		tmp[i] = float64(v)
+	}
+	return p.Apply(tmp, nil)
+}
+
+// Dense materializes the projector as the n x n matrix
+// P⊥_U = I - U^T (U U^T)^-1 U, the form Algorithm 2 of the paper applies
+// to every pixel. (Apply's factored form is cheaper for large n; Dense is
+// provided because the paper's cost profile — ATDCA slower per round than
+// UFCLS — comes from the dense application.)
+func (p *OSP) Dense() *Mat {
+	n := p.u.Cols
+	t := p.u.Rows
+	// B = gInv * U (t x n), then P = I - U^T B.
+	b := Mul(p.gInv, p.u)
+	out := Identity(n)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		for k := 0; k < t; k++ {
+			uki := p.u.At(k, i)
+			if uki == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := 0; j < n; j++ {
+				row[j] -= uki * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// DenseScore computes (P y)^T (P y) for a dense projector P and a float32
+// pixel y.
+func DenseScore(p *Mat, y []float32) float64 {
+	var norm float64
+	for i := 0; i < p.Rows; i++ {
+		row := p.Row(i)
+		var s float64
+		for j, v := range y {
+			s += row[j] * float64(v)
+		}
+		norm += s * s
+	}
+	return norm
+}
+
+// FlopsOSPBuild is the cost of constructing the factored projector for t
+// targets of n bands: the Gram matrix plus its inversion.
+func FlopsOSPBuild(t, n int) float64 { return FlopsGram(t, n) + FlopsInverse(t) }
+
+// FlopsOSPApply is the per-pixel cost of applying the factored projector.
+func FlopsOSPApply(t, n int) float64 {
+	tf, nf := float64(t), float64(n)
+	return 2*tf*nf + 2*tf*tf + 2*tf*nf + 2*nf
+}
+
+// FlopsOSPDenseBuild is the cost of materializing the n x n projector.
+func FlopsOSPDenseBuild(t, n int) float64 {
+	tf, nf := float64(t), float64(n)
+	return FlopsOSPBuild(t, n) + 2*tf*tf*nf + 2*tf*nf*nf
+}
+
+// FlopsOSPDenseApply is the per-pixel cost of the dense projector score.
+func FlopsOSPDenseApply(n int) float64 {
+	nf := float64(n)
+	return 2*nf*nf + 2*nf
+}

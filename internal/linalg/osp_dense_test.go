@@ -1,0 +1,69 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseMatchesFactoredApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	u := randMat(rng, 3, 14)
+	p, err := NewOSP(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := p.Dense()
+	if dense.Rows != 14 || dense.Cols != 14 {
+		t.Fatalf("dense shape %dx%d", dense.Rows, dense.Cols)
+	}
+	for trial := 0; trial < 20; trial++ {
+		y32 := make([]float32, 14)
+		y64 := make([]float64, 14)
+		for i := range y32 {
+			y32[i] = float32(rng.NormFloat64())
+			y64[i] = float64(y32[i])
+		}
+		got := DenseScore(dense, y32)
+		want := p.Apply(y64, nil)
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("trial %d: dense %v vs factored %v", trial, got, want)
+		}
+	}
+}
+
+func TestDenseIsProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	u := randMat(rng, 2, 10)
+	p, err := NewOSP(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Dense()
+	// P is symmetric and idempotent: P = P^T = P*P.
+	if !matsAlmostEq(d, d.T(), 1e-9) {
+		t.Error("dense projector not symmetric")
+	}
+	if !matsAlmostEq(Mul(d, d), d, 1e-8) {
+		t.Error("dense projector not idempotent")
+	}
+	// P annihilates the rows of U.
+	for r := 0; r < u.Rows; r++ {
+		out := MulVec(d, u.Row(r))
+		if math.Sqrt(Norm2(out)) > 1e-8 {
+			t.Errorf("dense projector does not annihilate target %d", r)
+		}
+	}
+}
+
+func TestFlopsOSPDense(t *testing.T) {
+	if FlopsOSPDenseBuild(3, 50) <= FlopsOSPBuild(3, 50) {
+		t.Error("dense build should cost more than factored build")
+	}
+	if FlopsOSPDenseApply(224) <= FlopsOSPApply(18, 224) {
+		t.Error("dense apply at t=18 should cost more than factored")
+	}
+	if FlopsOSPDenseApply(10) <= 0 {
+		t.Error("dense apply cost not positive")
+	}
+}

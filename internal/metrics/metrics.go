@@ -1,0 +1,157 @@
+// Package metrics scores algorithm outputs against ground truth and
+// computes the parallel-performance figures the paper's tables report:
+// spectral similarity of detected targets (Table 3), per-class
+// classification accuracy (Table 4), load-imbalance ratios (Table 7) and
+// speedups (Fig. 2).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algo"
+	"repro/internal/scene"
+	"repro/internal/spectral"
+)
+
+// DetectionScores returns, for every hot spot label, the SAD between the
+// pixel vector at the known target position and the most similar detected
+// target — exactly the Table 3 measure. Lower is better; 0 means a
+// detected target landed on (or is spectrally identical to) the truth.
+func DetectionScores(sc *scene.Scene, det *algo.DetectionResult) map[string]float64 {
+	out := make(map[string]float64, len(sc.Truth.HotSpots))
+	for _, h := range sc.Truth.HotSpots {
+		truthPixel := sc.Cube.Pixel(h.Line, h.Sample)
+		best := math.Inf(1)
+		for _, tg := range det.Targets {
+			if d := spectral.SAD(tg.Signature, truthPixel); d < best {
+				best = d
+			}
+		}
+		out[h.Label] = best
+	}
+	return out
+}
+
+// Accuracy reports classification quality against a ground-truth class
+// map under the best greedy one-to-one mapping between predicted cluster
+// labels and truth classes (unsupervised classifiers emit arbitrary label
+// identities).
+type Accuracy struct {
+	// PerClass[k] is the fraction of truth-class-k pixels correctly
+	// labeled, in truth-class order.
+	PerClass []float64
+	// Overall is the fraction of all ground-truth pixels correctly
+	// labeled.
+	Overall float64
+	// Mapping sends predicted labels to truth classes.
+	Mapping map[int]int
+}
+
+// Classification scores predicted labels against the ground-truth map
+// (entries < 0 are unlabeled and ignored). numClasses is the number of
+// truth classes.
+func Classification(truth []int, numClasses int, pred []int) (Accuracy, error) {
+	if len(truth) != len(pred) {
+		return Accuracy{}, fmt.Errorf("metrics: %d predictions for %d truth pixels", len(pred), len(truth))
+	}
+	// Contingency counts pred-label x truth-class.
+	counts := map[[2]int]int{}
+	classTotals := make([]int, numClasses)
+	total := 0
+	for i, tc := range truth {
+		if tc < 0 {
+			continue
+		}
+		if tc >= numClasses {
+			return Accuracy{}, fmt.Errorf("metrics: truth class %d out of range", tc)
+		}
+		counts[[2]int{pred[i], tc}]++
+		classTotals[tc]++
+		total++
+	}
+	if total == 0 {
+		return Accuracy{}, fmt.Errorf("metrics: no ground-truth pixels")
+	}
+	// Greedy one-to-one assignment by descending overlap.
+	mapping := map[int]int{}
+	usedTruth := map[int]bool{}
+	for len(mapping) < numClasses {
+		bestC, bp, bt := -1, 0, 0
+		for key, c := range counts {
+			if _, done := mapping[key[0]]; done || usedTruth[key[1]] {
+				continue
+			}
+			if c > bestC {
+				bestC, bp, bt = c, key[0], key[1]
+			}
+		}
+		if bestC < 0 {
+			break
+		}
+		mapping[bp] = bt
+		usedTruth[bt] = true
+	}
+	acc := Accuracy{PerClass: make([]float64, numClasses), Mapping: mapping}
+	correct := make([]int, numClasses)
+	totalCorrect := 0
+	for i, tc := range truth {
+		if tc < 0 {
+			continue
+		}
+		if mapped, ok := mapping[pred[i]]; ok && mapped == tc {
+			correct[tc]++
+			totalCorrect++
+		}
+	}
+	for k := 0; k < numClasses; k++ {
+		if classTotals[k] > 0 {
+			acc.PerClass[k] = float64(correct[k]) / float64(classTotals[k])
+		}
+	}
+	acc.Overall = float64(totalCorrect) / float64(total)
+	return acc, nil
+}
+
+// Imbalance returns the load-balancing rates of Table 7 for the given
+// per-processor run times: D_all = Rmax/Rmin over all processors, and
+// D_minus, the same ratio with the root (index 0) excluded. Perfect
+// balance gives 1.
+func Imbalance(times []float64) (dAll, dMinus float64, err error) {
+	if len(times) < 2 {
+		return 0, 0, fmt.Errorf("metrics: imbalance needs at least 2 processors, got %d", len(times))
+	}
+	ratio := func(ts []float64) (float64, error) {
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, t := range ts {
+			if t < min {
+				min = t
+			}
+			if t > max {
+				max = t
+			}
+		}
+		if min <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive run time %v", min)
+		}
+		return max / min, nil
+	}
+	if dAll, err = ratio(times); err != nil {
+		return 0, 0, err
+	}
+	if len(times) == 2 {
+		return dAll, 1, nil
+	}
+	if dMinus, err = ratio(times[1:]); err != nil {
+		return 0, 0, err
+	}
+	return dAll, dMinus, nil
+}
+
+// Speedup returns t1/tp, the Figure 2 measure.
+func Speedup(t1, tp float64) float64 {
+	if tp <= 0 {
+		return math.Inf(1)
+	}
+	return t1 / tp
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/scene"
+)
+
+func TestDetectionScoresExactHit(t *testing.T) {
+	sc, err := scene.Generate(scene.Config{Lines: 32, Samples: 24, Bands: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A detection result containing the exact pixel of each hot spot
+	// must score ~0 everywhere.
+	det := &algo.DetectionResult{}
+	for _, h := range sc.Truth.HotSpots {
+		sig := make([]float32, sc.Cube.Bands)
+		copy(sig, sc.Cube.Pixel(h.Line, h.Sample))
+		det.Targets = append(det.Targets, algo.Target{Line: h.Line, Sample: h.Sample, Signature: sig})
+	}
+	scores := DetectionScores(sc, det)
+	if len(scores) != 7 {
+		t.Fatalf("%d scores", len(scores))
+	}
+	for label, s := range scores {
+		if s > 1e-6 {
+			t.Errorf("spot %s score %v, want ~0", label, s)
+		}
+	}
+}
+
+func TestDetectionScoresMiss(t *testing.T) {
+	sc, err := scene.Generate(scene.Config{Lines: 32, Samples: 24, Bands: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A detection far from any hot spot signature scores high.
+	flat := make([]float32, sc.Cube.Bands)
+	for i := range flat {
+		flat[i] = 1
+	}
+	det := &algo.DetectionResult{Targets: []algo.Target{{Line: 0, Sample: 0, Signature: flat}}}
+	scores := DetectionScores(sc, det)
+	for label, s := range scores {
+		if s < 0.05 {
+			t.Errorf("spot %s score %v suspiciously low for a flat detection", label, s)
+		}
+	}
+}
+
+func TestClassificationPerfect(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2, -1, -1}
+	pred := []int{5, 5, 3, 3, 9, 9, 0, 1} // permuted labels, background arbitrary
+	acc, err := Classification(truth, 3, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Overall != 1 {
+		t.Errorf("overall = %v, want 1", acc.Overall)
+	}
+	for k, v := range acc.PerClass {
+		if v != 1 {
+			t.Errorf("class %d accuracy %v", k, v)
+		}
+	}
+}
+
+func TestClassificationPartial(t *testing.T) {
+	truth := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	pred := []int{7, 7, 7, 2, 2, 2, 2, 2}
+	acc, err := Classification(truth, 2, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy: label 2 -> class 1 (4 overlaps), label 7 -> class 0 (3).
+	if math.Abs(acc.PerClass[0]-0.75) > 1e-9 {
+		t.Errorf("class 0 accuracy %v, want 0.75", acc.PerClass[0])
+	}
+	if math.Abs(acc.PerClass[1]-1.0) > 1e-9 {
+		t.Errorf("class 1 accuracy %v, want 1.0", acc.PerClass[1])
+	}
+	if math.Abs(acc.Overall-7.0/8.0) > 1e-9 {
+		t.Errorf("overall %v, want 7/8", acc.Overall)
+	}
+}
+
+func TestClassificationOneToOneMapping(t *testing.T) {
+	// One predicted label cannot claim two truth classes.
+	truth := []int{0, 0, 1, 1}
+	pred := []int{4, 4, 4, 4}
+	acc, err := Classification(truth, 2, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Overall != 0.5 {
+		t.Errorf("overall %v, want 0.5 (one class unmatched)", acc.Overall)
+	}
+}
+
+func TestClassificationErrors(t *testing.T) {
+	if _, err := Classification([]int{0}, 1, []int{0, 1}); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+	if _, err := Classification([]int{-1, -1}, 1, []int{0, 0}); err == nil {
+		t.Error("no ground truth: expected error")
+	}
+	if _, err := Classification([]int{5}, 2, []int{0}); err == nil {
+		t.Error("out-of-range truth class: expected error")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	dAll, dMinus, err := Imbalance([]float64{2, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dAll != 2 {
+		t.Errorf("dAll = %v, want 2", dAll)
+	}
+	if dMinus != 1 {
+		t.Errorf("dMinus = %v, want 1 (root excluded)", dMinus)
+	}
+	// Perfect balance.
+	dAll, dMinus, err = Imbalance([]float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dAll != 1 || dMinus != 1 {
+		t.Errorf("balanced run: dAll=%v dMinus=%v", dAll, dMinus)
+	}
+}
+
+func TestImbalanceErrors(t *testing.T) {
+	if _, _, err := Imbalance([]float64{1}); err == nil {
+		t.Error("single processor: expected error")
+	}
+	if _, _, err := Imbalance([]float64{1, 0}); err == nil {
+		t.Error("zero run time: expected error")
+	}
+}
+
+func TestImbalanceTwoProcs(t *testing.T) {
+	dAll, dMinus, err := Imbalance([]float64{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dAll != 2 || dMinus != 1 {
+		t.Errorf("dAll=%v dMinus=%v", dAll, dMinus)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100, 10); got != 10 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("zero parallel time should give +Inf")
+	}
+}

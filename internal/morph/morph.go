@@ -1,0 +1,270 @@
+// Package morph implements the extended mathematical morphology for
+// hyperspectral imagery behind the Hetero-MORPH classifier (Algorithm 5):
+// the cumulative spectral angle distance D_B over a spatial structuring
+// element (Eq. 2), vector erosion and dilation choosing the most highly
+// mixed / most highly pure pixel of the neighbourhood (Eqs. 3-4), and the
+// morphological eccentricity index MEI (Eq. 5) accumulated over repeated
+// dilations — the AMEE endmember extraction scheme of Plaza et al.
+package morph
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/spectral"
+)
+
+// StructuringElement is a rectangular spatial kernel B of
+// (2*RadiusL+1) x (2*RadiusS+1) pixels.
+type StructuringElement struct {
+	RadiusL, RadiusS int
+}
+
+// Square returns the square structuring element of the given radius
+// (radius 1 is the customary 3x3 kernel).
+func Square(radius int) StructuringElement {
+	if radius < 0 {
+		panic(fmt.Sprintf("morph: negative radius %d", radius))
+	}
+	return StructuringElement{RadiusL: radius, RadiusS: radius}
+}
+
+// Size returns the number of pixels in the kernel.
+func (se StructuringElement) Size() int {
+	return (2*se.RadiusL + 1) * (2*se.RadiusS + 1)
+}
+
+// DistanceMap returns D_B for every pixel of f: the sum of spectral angle
+// distances between the pixel and every pixel in its B-neighbourhood
+// (Eq. 2), with the neighbourhood clamped at the image border. High D_B
+// marks spectrally mixed pixels, low D_B spectrally pure ones relative to
+// their surroundings.
+func DistanceMap(f *cube.Cube, se StructuringElement) []float64 {
+	out := make([]float64, f.NumPixels())
+	for l := 0; l < f.Lines; l++ {
+		for s := 0; s < f.Samples; s++ {
+			center := f.Pixel(l, s)
+			var sum float64
+			for dl := -se.RadiusL; dl <= se.RadiusL; dl++ {
+				nl := l + dl
+				if nl < 0 || nl >= f.Lines {
+					continue
+				}
+				for ds := -se.RadiusS; ds <= se.RadiusS; ds++ {
+					ns := s + ds
+					if ns < 0 || ns >= f.Samples {
+						continue
+					}
+					if dl == 0 && ds == 0 {
+						continue
+					}
+					sum += spectral.SAD(center, f.Pixel(nl, ns))
+				}
+			}
+			out[f.FlatIndex(l, s)] = sum
+		}
+	}
+	return out
+}
+
+// argOver scans the clamped B-neighbourhood of (l,s) and returns the
+// coordinates with minimal (min=true) or maximal D_B.
+func argOver(f *cube.Cube, dist []float64, se StructuringElement, l, s int, min bool) (int, int) {
+	bestL, bestS := l, s
+	best := dist[f.FlatIndex(l, s)]
+	for dl := -se.RadiusL; dl <= se.RadiusL; dl++ {
+		nl := l + dl
+		if nl < 0 || nl >= f.Lines {
+			continue
+		}
+		for ds := -se.RadiusS; ds <= se.RadiusS; ds++ {
+			ns := s + ds
+			if ns < 0 || ns >= f.Samples {
+				continue
+			}
+			d := dist[f.FlatIndex(nl, ns)]
+			if (min && d < best) || (!min && d > best) {
+				best, bestL, bestS = d, nl, ns
+			}
+		}
+	}
+	return bestL, bestS
+}
+
+// ErodeAt returns the coordinates selected by vector erosion at (l,s):
+// the neighbourhood pixel with minimal cumulative distance — the most
+// highly mixed pixel (Eq. 3). dist must be DistanceMap(f, se).
+func ErodeAt(f *cube.Cube, dist []float64, se StructuringElement, l, s int) (int, int) {
+	return argOver(f, dist, se, l, s, true)
+}
+
+// DilateAt returns the coordinates selected by vector dilation at (l,s):
+// the neighbourhood pixel with maximal cumulative distance — the most
+// highly pure pixel (Eq. 4).
+func DilateAt(f *cube.Cube, dist []float64, se StructuringElement, l, s int) (int, int) {
+	return argOver(f, dist, se, l, s, false)
+}
+
+// Dilate returns the morphological dilation of the whole cube: each output
+// pixel is the neighbourhood pixel selected by DilateAt. The input is
+// unchanged.
+func Dilate(f *cube.Cube, se StructuringElement) *cube.Cube {
+	dist := DistanceMap(f, se)
+	out := cube.MustNew(f.Lines, f.Samples, f.Bands)
+	for l := 0; l < f.Lines; l++ {
+		for s := 0; s < f.Samples; s++ {
+			nl, ns := DilateAt(f, dist, se, l, s)
+			out.SetPixel(l, s, f.Pixel(nl, ns))
+		}
+	}
+	return out
+}
+
+// MEIResult carries the outcome of the AMEE iteration.
+type MEIResult struct {
+	// Scores is the per-pixel morphological eccentricity index,
+	// accumulated with max over iterations.
+	Scores []float64
+	// Final is the cube after the I_max dilations: every pixel holds the
+	// most spectrally pure signature of its (grown) neighbourhood.
+	// Endmember candidates are read from Final at high-MEI locations —
+	// the high score marks *where* materials meet; the dilated pixel
+	// supplies the pure signature of the dominant material there.
+	Final *cube.Cube
+	// Flops is the floating-point operation count of the computation,
+	// for the virtual-time cost model.
+	Flops float64
+}
+
+// MEI runs the AMEE loop of Algorithm 5 step 2 on the whole cube: at each
+// of imax iterations it computes the distance map, updates every pixel's
+// MEI with the SAD between the pixels selected by erosion and dilation
+// (Eq. 5), and replaces f by its dilation for the next iteration. The
+// input cube is not modified.
+func MEI(f *cube.Cube, se StructuringElement, imax int) *MEIResult {
+	return MEIRange(f, se, imax, 0, f.Lines)
+}
+
+// MEIRange is MEI restricted to producing valid results for lines
+// [ownedLo, ownedHi): the computed region starts at the full reach of the
+// remaining iterations and shrinks toward the owned rows as iterations
+// complete. A worker whose partition carries halo rows therefore pays for
+// the halo only as long as the morphological reach still needs it, which
+// substantially reduces the redundant-computation overhead of overlap
+// borders on short partitions.
+func MEIRange(f *cube.Cube, se StructuringElement, imax, ownedLo, ownedHi int) *MEIResult {
+	if imax < 1 {
+		panic(fmt.Sprintf("morph: imax %d < 1", imax))
+	}
+	if ownedLo < 0 || ownedHi > f.Lines || ownedLo >= ownedHi {
+		panic(fmt.Sprintf("morph: owned range [%d,%d) of %d lines", ownedLo, ownedHi, f.Lines))
+	}
+	cur := f.Clone()
+	scores := make([]float64, f.NumPixels())
+	var flops float64
+	cols := float64(f.Samples)
+	sadCost := spectral.FlopsSAD(f.Bands)
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > f.Lines {
+			return f.Lines
+		}
+		return v
+	}
+	for it := 0; it < imax; it++ {
+		// Rows whose output must be valid after this iteration: the
+		// remaining (imax-1-it) dilations each reach RadiusL rows.
+		reach := se.RadiusL * (imax - 1 - it)
+		outLo, outHi := clamp(ownedLo-reach), clamp(ownedHi+reach)
+		// The distance map is consulted for rows within RadiusL of the
+		// output region.
+		mapLo, mapHi := clamp(outLo-se.RadiusL), clamp(outHi+se.RadiusL)
+		dist := distanceMapRange(cur, se, mapLo, mapHi)
+		flops += float64(mapHi-mapLo) * cols * float64(se.Size()-1) * sadCost
+		next := cur.Clone()
+		for l := outLo; l < outHi; l++ {
+			for s := 0; s < cur.Samples; s++ {
+				el, es := ErodeAt(cur, dist, se, l, s)
+				dl, ds := DilateAt(cur, dist, se, l, s)
+				mei := spectral.SAD(cur.Pixel(el, es), cur.Pixel(dl, ds))
+				p := cur.FlatIndex(l, s)
+				if mei > scores[p] {
+					scores[p] = mei
+				}
+				next.SetPixel(l, s, cur.Pixel(dl, ds))
+			}
+		}
+		flops += float64(outHi-outLo) * cols * (2*float64(se.Size()) + sadCost)
+		cur = next
+	}
+	return &MEIResult{Scores: scores, Final: cur, Flops: flops}
+}
+
+// distanceMapRange computes D_B for rows [lo, hi) only; entries outside
+// the range are zero and must not be consulted.
+func distanceMapRange(f *cube.Cube, se StructuringElement, lo, hi int) []float64 {
+	out := make([]float64, f.NumPixels())
+	for l := lo; l < hi; l++ {
+		for s := 0; s < f.Samples; s++ {
+			center := f.Pixel(l, s)
+			var sum float64
+			for dl := -se.RadiusL; dl <= se.RadiusL; dl++ {
+				nl := l + dl
+				if nl < 0 || nl >= f.Lines {
+					continue
+				}
+				for ds := -se.RadiusS; ds <= se.RadiusS; ds++ {
+					ns := s + ds
+					if ns < 0 || ns >= f.Samples {
+						continue
+					}
+					if dl == 0 && ds == 0 {
+						continue
+					}
+					sum += spectral.SAD(center, f.Pixel(nl, ns))
+				}
+			}
+			out[f.FlatIndex(l, s)] = sum
+		}
+	}
+	return out
+}
+
+// FlopsMEI estimates the cost of MEI over np pixels with the given kernel
+// and band count for imax iterations, matching the accounting MEI itself
+// performs.
+func FlopsMEI(np, seSize, bands, imax int) float64 {
+	sadCost := spectral.FlopsSAD(bands)
+	perIter := float64(np)*float64(seSize-1)*sadCost + float64(np)*(2*float64(seSize)+sadCost)
+	return float64(imax) * perIter
+}
+
+// TopK returns the flat indices of the k highest scores, in decreasing
+// score order (ties broken by lower index for determinism). k is clamped
+// to len(scores).
+func TopK(scores []float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort is fine for the small k (classes) we use.
+	for sel := 0; sel < k; sel++ {
+		best := sel
+		for j := sel + 1; j < len(idx); j++ {
+			si, sb := scores[idx[j]], scores[idx[best]]
+			if si > sb || (si == sb && idx[j] < idx[best]) {
+				best = j
+			}
+		}
+		idx[sel], idx[best] = idx[best], idx[sel]
+	}
+	return idx[:k]
+}

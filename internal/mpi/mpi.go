@@ -1,0 +1,442 @@
+// Package mpi provides an MPI-style message-passing layer for simulating
+// parallel hyperspectral imaging algorithms on heterogeneous networks.
+//
+// Go has no mature MPI binding, and the networks evaluated by Plaza
+// (CLUSTER 2006) no longer exist, so this package reinvents the messaging
+// substrate the paper relied on: an SPMD programming model (ranks, tags,
+// point-to-point sends and receives, master-centric collectives) in which
+// the computation executes for real — one goroutine per simulated
+// processor, operating on real data partitions — while time is *virtual*,
+// driven by the platform cost model of package platform and accounted by
+// package vtime.
+//
+// # Timing semantics
+//
+// A message of b bytes from rank i to rank j is charged
+// platform.TransferTime(b,i,j) seconds. The sender pays that cost into its
+// COM bucket. The receiver first advances (idle, charged to PAR — matching
+// the paper's convention that worker idle time counts as parallel
+// computation time) to the moment the sender was ready, then pays the
+// transfer into COM. Because both endpoints pay the transfer, a
+// synchronous round-trip leaves both clocks aligned, exactly like a
+// blocking MPI exchange.
+//
+// # Determinism
+//
+// Matching is FIFO per (source, destination) pair, receives name their
+// source explicitly, and collectives iterate ranks in order, so a program
+// whose own logic is deterministic yields bit-for-bit reproducible virtual
+// timings regardless of how the host schedules the goroutines.
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/vtime"
+)
+
+// mailboxCapacity bounds in-flight messages per (src,dst) pair. Sends are
+// eager (buffered) so well-formed master/worker programs cannot deadlock;
+// the capacity is generous because the algorithms in this repository
+// exchange a handful of messages per pair per iteration.
+const mailboxCapacity = 1024
+
+// message is one in-flight transfer.
+type message struct {
+	tag     int
+	payload any
+	bytes   int
+	ready   float64 // sender virtual time before the transfer began
+	arrival float64 // ready + transfer cost
+}
+
+// World is a simulated cluster: a platform description plus one mailbox
+// per ordered processor pair. Mailboxes are created lazily on first use:
+// the master/worker algorithms only ever exercise O(P) of the P^2 pairs,
+// and eager allocation at P=256 would cost gigabytes of channel buffers.
+type World struct {
+	net          *platform.Network
+	mailboxMu    sync.Mutex
+	mailbox      [][]chan message // [src][dst], nil until first use
+	failed       chan struct{}    // closed when any rank panics
+	failOnce     sync.Once
+	computeScale float64
+	dataScale    float64
+	trace        *Trace
+}
+
+// NewWorld creates a world over the given network.
+func NewWorld(net *platform.Network) *World {
+	p := net.Size()
+	mb := make([][]chan message, p)
+	for i := range mb {
+		mb[i] = make([]chan message, p)
+	}
+	return &World{net: net, mailbox: mb, failed: make(chan struct{}), computeScale: 1, dataScale: 1}
+}
+
+// box returns the mailbox for the ordered pair, creating it on first use.
+func (w *World) box(src, dst int) chan message {
+	w.mailboxMu.Lock()
+	ch := w.mailbox[src][dst]
+	if ch == nil {
+		ch = make(chan message, mailboxCapacity)
+		w.mailbox[src][dst] = ch
+	}
+	w.mailboxMu.Unlock()
+	return ch
+}
+
+// SetComputeScale multiplies every subsequent flop charge by s. The
+// experiment drivers use it to simulate the computation of the paper's
+// full-size scene (2133x512 pixels, 224 bands) while executing a reduced
+// one: per-iteration computation then lands at full-problem magnitude
+// against communication costs that are largely independent of the pixel
+// count, preserving the paper's compute-to-communication balance. Must be
+// called before Run.
+func (w *World) SetComputeScale(s float64) {
+	if s <= 0 {
+		panic(fmt.Sprintf("mpi: invalid compute scale %v", s))
+	}
+	w.computeScale = s
+}
+
+// SetDataScale multiplies the byte size of pixel-proportional transfers
+// (scene scatter, label gathers) by s, the counterpart of SetComputeScale
+// on the communication side: a reduced scene's bulk data movement is
+// charged at full-problem volume. Algorithms opt in per message via
+// Comm.DataScale; signature-sized control messages stay unscaled. Must be
+// called before Run.
+func (w *World) SetDataScale(s float64) {
+	if s <= 0 {
+		panic(fmt.Sprintf("mpi: invalid data scale %v", s))
+	}
+	w.dataScale = s
+}
+
+// fail aborts the run: ranks blocked in Recv unblock and panic, so Run
+// terminates instead of deadlocking when one rank dies mid-protocol.
+func (w *World) fail() {
+	w.failOnce.Do(func() { close(w.failed) })
+}
+
+// Network returns the platform the world simulates.
+func (w *World) Network() *platform.Network { return w.net }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.net.Size() }
+
+// Comm is one rank's endpoint into the world. It is created by Run and
+// confined to the goroutine simulating that rank.
+type Comm struct {
+	world *World
+	rank  int
+	clock *vtime.Clock
+}
+
+// Rank returns this processor's rank; rank 0 is the master.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.Size() }
+
+// Root reports whether this rank is the master.
+func (c *Comm) Root() bool { return c.rank == 0 }
+
+// Clock exposes the rank's virtual clock.
+func (c *Comm) Clock() *vtime.Clock { return c.clock }
+
+// Proc returns the platform description of this rank's processor.
+func (c *Comm) Proc() platform.Processor { return c.world.net.Procs[c.rank] }
+
+// World returns the world this endpoint belongs to.
+func (c *Comm) World() *World { return c.world }
+
+// Compute charges flops of computation in the given category (vtime.Seq
+// for master-only phases, vtime.Par otherwise), scaled by the world's
+// compute scale. Use it for work that grows with the scene (per-pixel
+// loops); use ComputeFixed for problem-size-independent steps.
+func (c *Comm) Compute(flops float64, cat vtime.Category) {
+	start := c.clock.Now()
+	c.clock.Compute(flops*c.world.computeScale, cat)
+	c.world.trace.add(Event{Rank: c.rank, Kind: EventCompute, Peer: -1, Start: start, Dur: c.clock.Now() - start, Cat: cat})
+}
+
+// ComputeFixed charges flops without the world's compute scale, for work
+// whose size does not depend on the scene's pixel count: projector and
+// Gram builds, candidate re-scoring at the master, set merges, and the
+// eigendecomposition.
+func (c *Comm) ComputeFixed(flops float64, cat vtime.Category) {
+	start := c.clock.Now()
+	c.clock.Compute(flops, cat)
+	c.world.trace.add(Event{Rank: c.rank, Kind: EventCompute, Peer: -1, Start: start, Dur: c.clock.Now() - start, Cat: cat})
+}
+
+// DataScale reports the world's pixel-data byte multiplier; algorithms
+// multiply the sizes of pixel-proportional transfers by it.
+func (c *Comm) DataScale() float64 { return c.world.dataScale }
+
+// Elapse charges d seconds of non-flop local work (e.g. disk access) to
+// the given category.
+func (c *Comm) Elapse(d float64, cat vtime.Category) { c.clock.Add(d, cat) }
+
+// Send transfers payload (of the given serialized size in bytes) to rank
+// dst with the given tag. The virtual transfer cost is charged to this
+// rank's COM bucket. Sending to self is a free local hand-off.
+//
+// Ownership of the payload passes to the receiver: the sender must not
+// mutate it afterwards. (The simulation shares memory; the cost model,
+// not a copy, represents the wire.)
+func (c *Comm) Send(dst, tag int, payload any, bytes int) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d (world size %d)", dst, c.Size()))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("mpi: negative message size %d", bytes))
+	}
+	ready := c.clock.Now()
+	cost := c.world.net.TransferTime(bytes, c.rank, dst)
+	c.clock.Add(cost, vtime.Com)
+	c.world.trace.add(Event{Rank: c.rank, Kind: EventSend, Tag: tag, Peer: dst, Bytes: bytes, Start: ready, Dur: cost, Cat: vtime.Com})
+	m := message{tag: tag, payload: payload, bytes: bytes, ready: ready, arrival: ready + cost}
+	select {
+	case c.world.box(c.rank, dst) <- m:
+	default:
+		panic(fmt.Sprintf("mpi: mailbox %d->%d overflow (more than %d unreceived messages)", c.rank, dst, mailboxCapacity))
+	}
+}
+
+// Recv blocks until the next message from rank src arrives, verifies its
+// tag, charges idle time (PAR) up to the sender's ready time and the
+// transfer itself (COM), and returns the payload.
+func (c *Comm) Recv(src, tag int) any {
+	if src < 0 || src >= c.Size() {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d (world size %d)", src, c.Size()))
+	}
+	box := c.world.box(src, c.rank)
+	var m message
+	select {
+	case m = <-box:
+	case <-c.world.failed:
+		// Drain anything that raced with the failure notification.
+		select {
+		case m = <-box:
+		default:
+			panic("mpi: run aborted because another rank failed")
+		}
+	}
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	start := c.clock.Now()
+	c.clock.AdvanceTo(m.ready, vtime.Idle)  // waiting for the peer to produce the data
+	c.clock.AdvanceTo(m.arrival, vtime.Com) // the transfer itself
+	c.world.trace.add(Event{Rank: c.rank, Kind: EventRecv, Tag: m.tag, Peer: src, Bytes: m.bytes, Start: start, Dur: c.clock.Now() - start, Cat: vtime.Com})
+	return m.payload
+}
+
+// RecvAs receives from src with the given tag and type-asserts the
+// payload.
+func RecvAs[T any](c *Comm, src, tag int) T {
+	v := c.Recv(src, tag)
+	tv, ok := v.(T)
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d: payload from %d tag %d is %T, not the requested type", c.rank, src, tag, v))
+	}
+	return tv
+}
+
+// Bcast distributes payload of the given size from root to every rank,
+// returning the payload at all ranks. The root sends linearly in rank
+// order, modelling the master-centric distribution the paper's algorithms
+// use.
+func (c *Comm) Bcast(root, tag int, payload any, bytes int) any {
+	if c.rank == root {
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst != root {
+				c.Send(dst, tag, payload, bytes)
+			}
+		}
+		return payload
+	}
+	return c.Recv(root, tag)
+}
+
+// Gather collects one payload (with per-rank sizes) from every rank at
+// root, in rank order. At the root it returns a slice indexed by rank
+// (the root's own contribution included); at other ranks it returns nil.
+func (c *Comm) Gather(root, tag int, payload any, bytes int) []any {
+	if c.rank != root {
+		c.Send(root, tag, payload, bytes)
+		return nil
+	}
+	out := make([]any, c.Size())
+	for src := 0; src < c.Size(); src++ {
+		if src == root {
+			out[src] = payload
+			continue
+		}
+		out[src] = c.Recv(src, tag)
+	}
+	return out
+}
+
+// GatherAs gathers typed payloads at root; non-root ranks receive nil.
+func GatherAs[T any](c *Comm, root, tag int, payload T, bytes int) []T {
+	raw := c.Gather(root, tag, payload, bytes)
+	if raw == nil {
+		return nil
+	}
+	out := make([]T, len(raw))
+	for i, v := range raw {
+		tv, ok := v.(T)
+		if !ok {
+			panic(fmt.Sprintf("mpi: gather at rank %d: payload from %d is %T, not the requested type", c.rank, i, v))
+		}
+		out[i] = tv
+	}
+	return out
+}
+
+// Barrier synchronizes all ranks: everyone reaches the barrier before
+// anyone leaves it. Implemented as a zero-byte gather at root followed by
+// a zero-byte broadcast (messages still pay latency, as a real barrier
+// would).
+func (c *Comm) Barrier(tag int) {
+	c.Gather(0, tag, nil, 0)
+	c.Bcast(0, tag, nil, 0)
+}
+
+// ReduceFloat64 combines one float64 per rank at root with op (called in
+// rank order, seeded with the root's own value first when root==0).
+// Non-root ranks return 0.
+func (c *Comm) ReduceFloat64(root, tag int, value float64, op func(a, b float64) float64) float64 {
+	vals := GatherAs(c, root, tag, value, 8)
+	if vals == nil {
+		return 0
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// RunResult holds the outcome of a simulated SPMD run.
+type RunResult struct {
+	// Values holds each rank's return value, indexed by rank.
+	Values []any
+	// Clocks holds each rank's final clock snapshot, indexed by rank.
+	Clocks []vtime.Snapshot
+}
+
+// Root returns rank 0's return value.
+func (r *RunResult) Root() any { return r.Values[0] }
+
+// WallTime returns the virtual wall-clock of the run: the maximum final
+// time over all processors.
+func (r *RunResult) WallTime() float64 {
+	var max float64
+	for _, s := range r.Clocks {
+		if s.Now > max {
+			max = s.Now
+		}
+	}
+	return max
+}
+
+// RootBreakdown returns the master's COM/SEQ/PAR decomposition, which is
+// how Table 6 of the paper decomposes each run's execution time. Matching
+// the paper's convention, PAR includes the root's idle time at
+// synchronization points ("the times in which the workers remain idle").
+func (r *RunResult) RootBreakdown() (com, seq, par float64) {
+	s := r.Clocks[0]
+	return s.Com, s.Seq, s.Par + s.Idle
+}
+
+// ProcTimes returns each processor's total run time (its final virtual
+// clock).
+func (r *RunResult) ProcTimes() []float64 {
+	out := make([]float64, len(r.Clocks))
+	for i, s := range r.Clocks {
+		out[i] = s.Now
+	}
+	return out
+}
+
+// BusyTimes returns each processor's busy run time (final clock minus
+// time spent waiting at synchronization points) — the processor run times
+// behind the load-imbalance ratios of Table 7. Completion times would be
+// useless there: the final gather synchronizes every clock.
+func (r *RunResult) BusyTimes() []float64 {
+	out := make([]float64, len(r.Clocks))
+	for i, s := range r.Clocks {
+		out[i] = s.Busy()
+	}
+	return out
+}
+
+// Program is an SPMD entry point: every rank runs the same function and
+// branches on c.Rank().
+type Program func(c *Comm) any
+
+// Run executes program on every rank of the world concurrently and waits
+// for all ranks to finish. A panic on any rank is captured and returned
+// as an error (after all surviving ranks have been given the chance to
+// finish or deadlock-panic themselves; mailbox buffering keeps senders
+// from blocking).
+//
+// A World must not be reused across runs: undelivered messages would leak
+// into the next program. Create a fresh World per run.
+func (w *World) Run(program Program) (result *RunResult, err error) {
+	p := w.Size()
+	res := &RunResult{
+		Values: make([]any, p),
+		Clocks: make([]vtime.Snapshot, p),
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{world: w, rank: rank, clock: vtime.NewClock(w.net.Procs[rank].CycleTime)}
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+					w.fail()
+				}
+				res.Clocks[rank] = c.clock.Snapshot()
+			}()
+			res.Values[rank] = program(c)
+		}(rank)
+	}
+	wg.Wait()
+	// Prefer the originating failure over the "aborted because another
+	// rank failed" cascade it triggers on the surviving ranks.
+	var first, cascade error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if strings.Contains(e.Error(), "another rank failed") {
+			if cascade == nil {
+				cascade = e
+			}
+			continue
+		}
+		if first == nil {
+			first = e
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	if cascade != nil {
+		return nil, cascade
+	}
+	return res, nil
+}

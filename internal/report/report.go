@@ -1,0 +1,265 @@
+// Package report renders experiment results as text tables laid out like
+// the paper's Tables 1-8 and the Figure 2 series.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+)
+
+// table is a minimal column-aligned text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// Table1 renders the heterogeneous processor specifications.
+func Table1() string {
+	t := &table{header: []string{"Processor", "Architecture", "Cycle-time (s/Mflop)", "Memory (MB)", "Cache (KB)", "Segment"}}
+	for _, p := range platform.HeterogeneousProcessors() {
+		t.addRow(fmt.Sprintf("p%d", p.ID), p.Name, fmt.Sprintf("%.4f", p.CycleTime),
+			fmt.Sprintf("%d", p.MemoryMB), fmt.Sprintf("%d", p.CacheKB), fmt.Sprintf("s%d", p.Segment+1))
+	}
+	return "Table 1. Specifications of heterogeneous processors.\n" + t.String()
+}
+
+// Table2 renders the link capacity matrix by communication segment.
+func Table2() string {
+	net := platform.FullyHeterogeneous()
+	groups := []struct {
+		label string
+		rep   int // representative processor index of the segment
+	}{
+		{"p1-p4", 0}, {"p5-p8", 4}, {"p9-p10", 8}, {"p11-p16", 10},
+	}
+	t := &table{header: []string{"Processor", "p1-p4", "p5-p8", "p9-p10", "p11-p16"}}
+	for _, g := range groups {
+		row := []string{g.label}
+		for _, h := range groups {
+			i, j := g.rep, h.rep
+			if i == j {
+				// Intra-segment capacity: use two distinct members.
+				j = i + 1
+			}
+			row = append(row, f2(net.LinkMS(i, j)))
+		}
+		t.addRow(row...)
+	}
+	return "Table 2. Capacity of communication links (ms per megabit message).\n" + t.String()
+}
+
+// Table3 renders the target detection accuracy study.
+func Table3(r *experiments.Table3Result) string {
+	t := &table{header: []string{"Hot spot",
+		fmt.Sprintf("Hetero-ATDCA (%s)", f0(r.SeqTimeATDCA)),
+		fmt.Sprintf("Hetero-UFCLS (%s)", f0(r.SeqTimeUFCLS))}}
+	for _, s := range r.Spots {
+		t.addRow("'"+s+"'", f3(r.ATDCA[s]), f3(r.UFCLS[s]))
+	}
+	return "Table 3. Spectral similarity (SAD) between detected targets and known\n" +
+		"ground targets; single-processor virtual times in parentheses.\n" + t.String()
+}
+
+// Table4 renders the classification accuracy study.
+func Table4(r *experiments.Table4Result) string {
+	t := &table{header: []string{"Dust/debris",
+		fmt.Sprintf("Hetero-PCT (%s)", f0(r.SeqTimePCT)),
+		fmt.Sprintf("Hetero-MORPH (%s)", f0(r.SeqTimeMorph))}}
+	for k, name := range r.Classes {
+		t.addRow(name, f2(r.PCT[k]), f2(r.Morph[k]))
+	}
+	t.addRow("Overall", f2(r.OverallPCT), f2(r.OverallMorph))
+	t.addRow("Kappa", f3(r.KappaPCT), f3(r.KappaMorph))
+	return "Table 4. Classification accuracies (percent) for the USGS dust/debris\n" +
+		"classes; single-processor virtual times in parentheses; Cohen's kappa\n" +
+		"appended (not in the paper's table).\n" + t.String()
+}
+
+func rowName(r experiments.SuiteRow) string {
+	return fmt.Sprintf("%s-%s", r.Variant, r.Algorithm)
+}
+
+// Table5 renders the execution times of the network suite.
+func Table5(r *experiments.NetworkSuiteResult) string {
+	t := &table{header: append([]string{"Algorithm"}, r.Networks...)}
+	for _, row := range r.Rows {
+		cells := []string{rowName(row)}
+		for _, c := range row.PerNetwork {
+			cells = append(cells, f0(c.Wall))
+		}
+		t.addRow(cells...)
+	}
+	out := "Table 5. Execution times (virtual seconds) of heterogeneous algorithms\n" +
+		"and their homogeneous versions.\n" + t.String()
+	// The paper's optimality criterion (Lastovetsky & Reddy): hetero on
+	// the heterogeneous network vs homo on the equivalent homogeneous one.
+	ratios := r.OptimalityRatios()
+	if len(ratios) > 0 {
+		out += "\nOptimality T(Hetero,het)/T(Homo,homo), 1.0 = optimal:"
+		for _, alg := range core.Algorithms {
+			if v, ok := ratios[alg]; ok {
+				out += fmt.Sprintf("  %s %.2f", alg, v)
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Table6 renders the COM/SEQ/PAR decomposition of the network suite.
+func Table6(r *experiments.NetworkSuiteResult) string {
+	header := []string{"Algorithm"}
+	for _, n := range r.Networks {
+		header = append(header, n+" COM", "SEQ", "PAR")
+	}
+	t := &table{header: header}
+	for _, row := range r.Rows {
+		cells := []string{rowName(row)}
+		for _, c := range row.PerNetwork {
+			cells = append(cells, f0(c.Com), f0(c.Seq), f0(c.Par))
+		}
+		t.addRow(cells...)
+	}
+	return "Table 6. Communication (COM), sequential computation (SEQ) and parallel\n" +
+		"computation (PAR) times in virtual seconds.\n" + t.String()
+}
+
+// Table7 renders the load-balancing rates of the network suite.
+func Table7(r *experiments.NetworkSuiteResult) string {
+	header := []string{"Algorithm"}
+	for _, n := range r.Networks {
+		header = append(header, n+" D_all", "D_minus")
+	}
+	t := &table{header: header}
+	for _, row := range r.Rows {
+		cells := []string{rowName(row)}
+		for _, c := range row.PerNetwork {
+			cells = append(cells, f2(c.DAll), f2(c.DMinus))
+		}
+		t.addRow(cells...)
+	}
+	return "Table 7. Load balancing rates for the heterogeneous algorithms and\n" +
+		"their homogeneous versions.\n" + t.String()
+}
+
+// Table8 renders the Thunderhead execution times.
+func Table8(r *experiments.ThunderheadResult) string {
+	t := &table{header: []string{"CPUs", "ATDCA", "UFCLS", "PCT", "MORPH"}}
+	for i, p := range r.CPUs {
+		t.addRow(fmt.Sprintf("%d", p),
+			f0(r.Times[core.ATDCA][i]), f0(r.Times[core.UFCLS][i]),
+			f0(r.Times[core.PCT][i]), f0(r.Times[core.MORPH][i]))
+	}
+	return "Table 8. Execution times (virtual seconds) for the heterogeneous\n" +
+		"algorithms on Thunderhead.\n" + t.String()
+}
+
+// Figure2 renders the Thunderhead speedups as a data series plus a crude
+// ASCII plot, one curve per algorithm.
+func Figure2(r *experiments.ThunderheadResult) string {
+	t := &table{header: []string{"CPUs", "ATDCA", "UFCLS", "PCT", "MORPH"}}
+	for i, p := range r.CPUs {
+		t.addRow(fmt.Sprintf("%d", p),
+			f1(r.Speedups[core.ATDCA][i]), f1(r.Speedups[core.UFCLS][i]),
+			f1(r.Speedups[core.PCT][i]), f1(r.Speedups[core.MORPH][i]))
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2. Scalability of heterogeneous parallel algorithms on Thunderhead\n")
+	b.WriteString("(speedup over the single-processor run).\n")
+	b.WriteString(t.String())
+	b.WriteString(asciiSpeedupPlot(r))
+	return b.String()
+}
+
+// asciiSpeedupPlot sketches the speedup curves with one character column
+// per CPU count row.
+func asciiSpeedupPlot(r *experiments.ThunderheadResult) string {
+	const height = 12
+	marks := map[core.Algorithm]byte{core.ATDCA: 'A', core.UFCLS: 'U', core.PCT: 'P', core.MORPH: 'M'}
+	var maxSp float64
+	for _, alg := range core.Algorithms {
+		for _, s := range r.Speedups[alg] {
+			if s > maxSp {
+				maxSp = s
+			}
+		}
+	}
+	if maxSp <= 0 {
+		return ""
+	}
+	grid := make([][]byte, height)
+	width := len(r.CPUs) * 6
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, alg := range core.Algorithms {
+		for i, s := range r.Speedups[alg] {
+			row := height - 1 - int(s/maxSp*float64(height-1))
+			col := i*6 + 2
+			if grid[row][col] == ' ' {
+				grid[row][col] = marks[alg]
+			} else {
+				grid[row][col] = '*' // overlapping curves
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nspeedup (max %.0f)   A=ATDCA U=UFCLS P=PCT M=MORPH *=overlap\n", maxSp)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n ")
+	for _, p := range r.CPUs {
+		fmt.Fprintf(&b, "%-6d", p)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func sampleSuite() *experiments.NetworkSuiteResult {
+	r := &experiments.NetworkSuiteResult{
+		Networks: []string{"fully-heterogeneous", "fully-homogeneous", "partially-heterogeneous", "partially-homogeneous"},
+	}
+	for _, alg := range core.Algorithms {
+		for _, v := range core.Variants {
+			row := experiments.SuiteRow{Algorithm: alg, Variant: v}
+			for i := 0; i < 4; i++ {
+				row.PerNetwork = append(row.PerNetwork, experiments.NetStats{
+					Wall: float64(80 + i), Com: 7, Seq: 19, Par: float64(54 + i),
+					DAll: 1.19, DMinus: 1.05,
+				})
+			}
+			r.Rows = append(r.Rows, row)
+		}
+	}
+	return r
+}
+
+func sampleThunderhead() *experiments.ThunderheadResult {
+	r := &experiments.ThunderheadResult{
+		CPUs:     []int{1, 4, 16},
+		Times:    map[core.Algorithm][]float64{},
+		Speedups: map[core.Algorithm][]float64{},
+	}
+	for _, alg := range core.Algorithms {
+		r.Times[alg] = []float64{1263, 493, 141}
+		r.Speedups[alg] = []float64{1, 2.6, 9}
+	}
+	return r
+}
+
+func TestTable1ContainsProcessors(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"p1", "p16", "0.0451", "UltraSparc", "7748"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2ContainsCapacities(t *testing.T) {
+	out := Table2()
+	for _, want := range []string{"19.26", "154.76", "14.05", "48.31"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Render(t *testing.T) {
+	r := &experiments.Table3Result{
+		Spots:        []string{"A", "B"},
+		ATDCA:        map[string]float64{"A": 0.002, "B": 0.001},
+		UFCLS:        map[string]float64{"A": 0.123, "B": 0.005},
+		SeqTimeATDCA: 1263, SeqTimeUFCLS: 916,
+	}
+	out := Table3(r)
+	for _, want := range []string{"'A'", "0.002", "0.123", "1263", "916"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4Render(t *testing.T) {
+	r := &experiments.Table4Result{
+		Classes:    []string{"Concrete", "Gypsum"},
+		PCT:        []float64{93.56, 82.99},
+		Morph:      []float64{95.1, 96.2},
+		OverallPCT: 80.45, OverallMorph: 93.2,
+		SeqTimePCT: 1884, SeqTimeMorph: 2334,
+	}
+	out := Table4(r)
+	for _, want := range []string{"Concrete", "93.56", "Overall", "80.45", "2334"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTables567Render(t *testing.T) {
+	suite := sampleSuite()
+	t5, t6, t7 := Table5(suite), Table6(suite), Table7(suite)
+	for _, want := range []string{"Hetero-ATDCA", "Homo-MORPH", "fully-heterogeneous"} {
+		for name, out := range map[string]string{"5": t5, "6": t6, "7": t7} {
+			if !strings.Contains(out, want) {
+				t.Errorf("Table %s missing %q", name, want)
+			}
+		}
+	}
+	if !strings.Contains(t6, "COM") || !strings.Contains(t6, "SEQ") || !strings.Contains(t6, "PAR") {
+		t.Error("Table 6 missing the COM/SEQ/PAR columns")
+	}
+	if !strings.Contains(t7, "D_all") || !strings.Contains(t7, "1.19") {
+		t.Error("Table 7 missing imbalance data")
+	}
+	// 8 algorithm rows plus the optimality footer naming each algorithm
+	// once more.
+	if strings.Count(t5, "ATDCA") != 3 || strings.Count(t5, "MORPH") != 3 {
+		t.Error("Table 5 row set wrong")
+	}
+	if !strings.Contains(t5, "Optimality") {
+		t.Error("Table 5 missing the optimality footer")
+	}
+}
+
+func TestTable8AndFigure2Render(t *testing.T) {
+	th := sampleThunderhead()
+	t8 := Table8(th)
+	for _, want := range []string{"CPUs", "1263", "141"} {
+		if !strings.Contains(t8, want) {
+			t.Errorf("Table 8 missing %q:\n%s", want, t8)
+		}
+	}
+	fig := Figure2(th)
+	for _, want := range []string{"Figure 2", "9.0", "speedup", "A=ATDCA"} {
+		if !strings.Contains(fig, want) {
+			t.Errorf("Figure 2 missing %q:\n%s", want, fig)
+		}
+	}
+	// The ASCII plot has an axis.
+	if !strings.Contains(fig, "+---") {
+		t.Error("Figure 2 missing plot axis")
+	}
+}
+
+func TestTablesAligned(t *testing.T) {
+	// Every rendered line of a table body shares the header's width
+	// discipline: no line shorter than the first column.
+	out := Table1()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 18 {
+		t.Fatalf("Table 1 has %d lines", len(lines))
+	}
+}

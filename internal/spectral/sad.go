@@ -1,0 +1,75 @@
+// Package spectral provides spectral similarity metrics and a synthetic
+// signature library for hyperspectral analysis.
+//
+// The spectral angle distance (SAD, Eq. 1 of the paper) is the workhorse
+// similarity metric: the angle between two pixel vectors, invariant to
+// illumination scaling, with 0 meaning spectrally identical.
+package spectral
+
+import (
+	"math"
+)
+
+// SAD returns the spectral angle distance between two pixel vectors:
+// arccos( a.b / (|a||b|) ), in radians in [0, pi]. By convention the
+// distance involving an all-zero vector is pi/2 (maximally dissimilar
+// among non-negative spectra).
+func SAD(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("spectral: SAD length mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	return angle(dot, na, nb)
+}
+
+// SADf64 is SAD for float64 vectors.
+func SADf64(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("spectral: SAD length mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	return angle(dot, na, nb)
+}
+
+func angle(dot, na, nb float64) float64 {
+	if na == 0 || nb == 0 {
+		return math.Pi / 2
+	}
+	c := dot / math.Sqrt(na*nb)
+	// Clamp against floating-point drift before arccos.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// FlopsSAD is the cost of one SAD evaluation on n-band vectors.
+func FlopsSAD(n int) float64 { return 6*float64(n) + 10 }
+
+// MostSimilar returns the index of the signature in set closest (smallest
+// SAD) to pixel, and the distance. It panics on an empty set.
+func MostSimilar(pixel []float32, set [][]float32) (int, float64) {
+	if len(set) == 0 {
+		panic("spectral: MostSimilar over empty set")
+	}
+	best, bestD := 0, math.Inf(1)
+	for i, s := range set {
+		if d := SAD(pixel, s); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,116 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSIDIdenticalIsZero(t *testing.T) {
+	a := []float32{0.2, 0.5, 0.3}
+	if got := SID(a, a); got > 1e-9 {
+		t.Errorf("SID(a,a) = %v", got)
+	}
+}
+
+func TestSIDScaleInvariant(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{10, 20, 30}
+	if got := SID(a, b); got > 1e-9 {
+		t.Errorf("SID of scaled vector = %v", got)
+	}
+}
+
+func TestSIDSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		a, b := make([]float32, n), make([]float32, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float32()
+			b[i] = rng.Float32()
+		}
+		if d1, d2 := SID(a, b), SID(b, a); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("SID asymmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestSIDNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		a, b := make([]float32, n), make([]float32, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float32()
+			b[i] = rng.Float32()
+		}
+		if d := SID(a, b); d < 0 {
+			t.Fatalf("negative SID %v", d)
+		}
+	}
+}
+
+func TestSIDZeroVector(t *testing.T) {
+	if !math.IsInf(SID([]float32{0, 0}, []float32{1, 2}), 1) {
+		t.Error("SID with zero vector should be +Inf")
+	}
+}
+
+func TestSIDLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	SID([]float32{1}, []float32{1, 2})
+}
+
+func TestSIDDiscriminatesSubtleShapes(t *testing.T) {
+	// Two signatures with the same overall slope but one narrow
+	// absorption feature differ more under SID than a pair with the
+	// feature shared.
+	base := Synthesize(64, 0.3, 0.1, nil)
+	dipped := Synthesize(64, 0.3, 0.1, []Feature{{Center: 1.9, Width: 0.05, Amplitude: -0.1}})
+	if SID(base, dipped) <= SID(base, base)+1e-12 {
+		t.Error("SID insensitive to an absorption feature")
+	}
+}
+
+func TestSIDSAM(t *testing.T) {
+	a := Synthesize(32, 0.3, 0.1, nil)
+	b := Synthesize(32, 0.3, 0.1, []Feature{{Center: 1.4, Width: 0.1, Amplitude: -0.08}})
+	hybrid := SIDSAM(a, b)
+	if hybrid <= 0 {
+		t.Errorf("SIDSAM = %v for distinct signatures", hybrid)
+	}
+	if SIDSAM(a, a) > 1e-12 {
+		t.Error("SIDSAM of identical signatures not ~0")
+	}
+	// Orthogonal vectors must not blow up.
+	x := []float32{1, 0}
+	y := []float32{0, 1}
+	if v := SIDSAM(x, y); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("SIDSAM orthogonal = %v", v)
+	}
+}
+
+func TestMostSimilarBy(t *testing.T) {
+	set := [][]float32{{1, 0}, {0, 1}}
+	i, d := MostSimilarBy([]float32{0.9, 0.1}, set, func(a, b []float32) float64 { return SID(a, b) })
+	if i != 0 || d < 0 {
+		t.Errorf("MostSimilarBy picked %d (%v)", i, d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty set did not panic")
+		}
+	}()
+	MostSimilarBy([]float32{1}, nil, SID)
+}
+
+func TestFlopsSID(t *testing.T) {
+	if FlopsSID(10) <= 0 || FlopsSID(20) <= FlopsSID(10) {
+		t.Error("FlopsSID not sane")
+	}
+}
