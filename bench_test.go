@@ -15,9 +15,12 @@ package hyperhet
 //	go test -bench=. -benchmem
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/algo"
 	"repro/internal/core"
@@ -641,5 +644,61 @@ func BenchmarkKernelCubeIO(b *testing.B) {
 		if _, err := cube.Load(path); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Scheduler throughput ----------------------------------------------
+
+// BenchmarkSchedulerThroughput measures end-to-end jobs/sec through the
+// internal/sched admission queue and worker pool at several queue depths,
+// submitting fast sequential ATDCA runs on the reduced WTC timing scene.
+// The result cache is disabled so every job pays the full analysis cost;
+// ErrQueueFull is handled the way a client would, by waiting for the
+// oldest outstanding job before retrying.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	_, timing, _ := benchScenes(b)
+	params := core.DefaultParams()
+	params.Targets = 4
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			s := NewScheduler(SchedulerConfig{Workers: 4, QueueDepth: depth, CacheEntries: -1})
+			defer s.Close()
+			ctx := context.Background()
+			spec := JobSpec{
+				Mode:      ModeSequential,
+				Algorithm: ATDCA,
+				Cube:      timing.Cube,
+				Params:    params,
+				NoCache:   true,
+			}
+			pending := make([]*Job, 0, b.N)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for {
+					job, err := s.Submit(ctx, spec)
+					if err == nil {
+						pending = append(pending, job)
+						break
+					}
+					if !errors.Is(err, ErrQueueFull) {
+						b.Fatal(err)
+					}
+					if len(pending) == 0 {
+						b.Fatal("queue full with no outstanding jobs")
+					}
+					<-pending[0].Done()
+					pending = pending[1:]
+				}
+			}
+			for _, j := range pending {
+				<-j.Done()
+				if err := j.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/sec")
+		})
 	}
 }

@@ -48,6 +48,32 @@ func main() {
 		look    = flag.String("quicklook", "", "also write a Figure-1-style false-color PPM to this path")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "cubegen: unexpected argument %q (all options are flags)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Validate every flag before the (potentially slow) scene generation.
+	if *out == "" {
+		exitOn(fmt.Errorf("-o must not be empty"))
+	}
+	if *lines <= 0 || *samples <= 0 || *bands <= 0 {
+		exitOn(fmt.Errorf("scene dimensions must be positive, got %dx%dx%d", *lines, *samples, *bands))
+	}
+	if *snr < 0 {
+		exitOn(fmt.Errorf("-snr must be non-negative dB, got %g", *snr))
+	}
+	switch *format {
+	case "hc", "envi":
+	default:
+		exitOn(fmt.Errorf("unknown format %q (want hc or envi)", *format))
+	}
+	switch *il {
+	case "bip", "bil", "bsq":
+	default:
+		exitOn(fmt.Errorf("unknown interleave %q (want bip, bil or bsq)", *il))
+	}
 
 	cfg := hyperhet.SceneConfig{
 		Lines: *lines, Samples: *samples, Bands: *bands,
@@ -62,8 +88,6 @@ func main() {
 		base := strings.TrimSuffix(*out, ".hc")
 		exitOn(hyperhet.SaveENVI(sc.Cube, base, hyperhet.Interleave(*il)))
 		fmt.Printf("wrote %s.hdr + %s.img (%s)\n", base, base, *il)
-	default:
-		exitOn(fmt.Errorf("unknown format %q", *format))
 	}
 
 	truth := truthSidecar{

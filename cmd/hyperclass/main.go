@@ -34,13 +34,18 @@ func main() {
 		truthIn = flag.String("truth", "", "ground-truth sidecar JSON for accuracy scoring")
 	)
 	flag.Parse()
-	if *in == "" {
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "hyperclass: unexpected argument %q (all options are flags)\n", flag.Arg(0))
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := loadCube(*in)
-	exitOn(err)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "hyperclass: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
 
+	// Validate every flag before touching the (possibly large) input.
 	var alg hyperhet.Algorithm
 	switch strings.ToLower(*algName) {
 	case "pct":
@@ -50,20 +55,31 @@ func main() {
 	default:
 		exitOn(fmt.Errorf("unknown algorithm %q (want pct or morph)", *algName))
 	}
+	if *classes <= 0 {
+		exitOn(fmt.Errorf("-classes must be positive, got %d", *classes))
+	}
+	if *cpus < 1 {
+		exitOn(fmt.Errorf("-cpus must be at least 1, got %d", *cpus))
+	}
+	v, err := parseVariant(*variant)
+	exitOn(err)
+	var net *hyperhet.Network
+	if !strings.EqualFold(*netName, "sequential") {
+		net, err = parseNet(*netName, *cpus)
+		exitOn(err)
+	}
+
+	f, err := loadCube(*in)
+	exitOn(err)
+
 	params := hyperhet.DefaultParams()
 	params.PCT.Classes = *classes
 	params.Morph.Classes = *classes
 
 	var rep *hyperhet.RunReport
-	if strings.EqualFold(*netName, "sequential") {
+	if net == nil {
 		rep, err = hyperhet.RunSequential(0.0072, alg, f, params)
 	} else {
-		var net *hyperhet.Network
-		net, err = parseNet(*netName, *cpus)
-		exitOn(err)
-		var v hyperhet.Variant
-		v, err = parseVariant(*variant)
-		exitOn(err)
 		rep, err = hyperhet.Run(net, alg, v, f, params)
 	}
 	exitOn(err)

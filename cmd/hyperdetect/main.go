@@ -32,13 +32,18 @@ func main() {
 		trace   = flag.Bool("trace", false, "print a per-processor activity timeline of the run")
 	)
 	flag.Parse()
-	if *in == "" {
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "hyperdetect: unexpected argument %q (all options are flags)\n", flag.Arg(0))
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := loadCube(*in)
-	exitOn(err)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "hyperdetect: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
 
+	// Validate every flag before touching the (possibly large) input.
 	var alg hyperhet.Algorithm
 	switch strings.ToLower(*algName) {
 	case "atdca":
@@ -50,17 +55,29 @@ func main() {
 	}
 	v, err := parseVariant(*variant)
 	exitOn(err)
+	if *targets <= 0 {
+		exitOn(fmt.Errorf("-targets must be positive, got %d", *targets))
+	}
+	if *cpus < 1 {
+		exitOn(fmt.Errorf("-cpus must be at least 1, got %d", *cpus))
+	}
+	var net *hyperhet.Network
+	if !strings.EqualFold(*netName, "sequential") {
+		net, err = parseNet(*netName, *cpus)
+		exitOn(err)
+	}
+
+	f, err := loadCube(*in)
+	exitOn(err)
+
 	params := hyperhet.DefaultParams()
 	params.Targets = *targets
 	params.Trace = *trace
 
 	var rep *hyperhet.RunReport
-	if strings.EqualFold(*netName, "sequential") {
+	if net == nil {
 		rep, err = hyperhet.RunSequential(0.0072, alg, f, params)
 	} else {
-		var net *hyperhet.Network
-		net, err = parseNet(*netName, *cpus)
-		exitOn(err)
 		rep, err = hyperhet.Run(net, alg, v, f, params)
 	}
 	exitOn(err)

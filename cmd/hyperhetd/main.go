@@ -1,0 +1,427 @@
+// Command hyperhetd serves the analysis-job scheduler over HTTP: clients
+// submit simulated hyperspectral analysis runs, poll their status and read
+// aggregate scheduler counters.
+//
+// Usage:
+//
+//	hyperhetd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	          [-retain N] [-timeout D]
+//
+// Endpoints (all JSON):
+//
+//	POST /submit           submit a job; 202 with {"id": ...} on admission,
+//	                       429 when the bounded queue is full
+//	GET  /jobs/{id}        job status, including result summary when done
+//	POST /jobs/{id}/cancel abort a queued or running job
+//	GET  /stats            scheduler counters and server uptime
+//	GET  /healthz          liveness probe
+//
+// A submission names an algorithm, a platform and a scene; the server
+// generates (and caches) synthetic scenes on demand, so a job request is
+// a small JSON document, not a cube upload:
+//
+//	curl -s localhost:8080/submit -d '{
+//	  "algorithm": "ATDCA", "variant": "Hetero", "network": "fully-het",
+//	  "priority": "interactive", "timeout_ms": 60000,
+//	  "scene": {"lines": 64, "samples": 32, "bands": 32, "seed": 7}
+//	}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	hyperhet "repro"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 4, "size of the simulation worker pool")
+		queue   = flag.Int("queue", 64, "submission queue depth (backpressure bound)")
+		cache   = flag.Int("cache", 128, "result cache entries (negative disables)")
+		retain  = flag.Int("retain", 1024, "finished jobs kept queryable by id")
+		timeout = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "hyperhetd: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers <= 0 || *queue <= 0 || *retain <= 0 {
+		fmt.Fprintln(os.Stderr, "hyperhetd: -workers, -queue and -retain must be positive")
+		os.Exit(2)
+	}
+	if *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "hyperhetd: -timeout must not be negative")
+		os.Exit(2)
+	}
+
+	srv := newServer(hyperhet.SchedulerConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		RetainJobs:     *retain,
+		DefaultTimeout: *timeout,
+	})
+	defer srv.close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("hyperhetd listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("hyperhetd: %v", err)
+	}
+}
+
+// maxCachedScenes bounds the server-side scene cache: scenes are a few
+// megabytes each and requests overwhelmingly reuse a handful of configs.
+const maxCachedScenes = 16
+
+// server wires the scheduler to the HTTP API.
+type server struct {
+	sched *hyperhet.Scheduler
+	start time.Time
+
+	mu     sync.Mutex
+	scenes map[hyperhet.SceneConfig]*sceneEntry
+}
+
+// sceneEntry is one generated scene plus its precomputed cache digest.
+type sceneEntry struct {
+	cube   *hyperhet.Cube
+	digest string
+}
+
+func newServer(cfg hyperhet.SchedulerConfig) *server {
+	return &server{
+		sched:  hyperhet.NewScheduler(cfg),
+		start:  time.Now(),
+		scenes: make(map[hyperhet.SceneConfig]*sceneEntry),
+	}
+}
+
+func (s *server) close() { s.sched.Close() }
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// submitRequest is the body of POST /submit.
+type submitRequest struct {
+	Algorithm string       `json:"algorithm"`
+	Variant   string       `json:"variant"`    // hetero (default) or homo
+	Mode      string       `json:"mode"`       // run (default), adaptive, sequential
+	Network   string       `json:"network"`    // fully-het, fully-homo, part-het, part-homo, thunderhead
+	CPUs      int          `json:"cpus"`       // thunderhead node count
+	CycleTime float64      `json:"cycle_time"` // sequential-mode processor speed
+	Priority  string       `json:"priority"`   // interactive or batch (default)
+	TimeoutMS int64        `json:"timeout_ms"`
+	Targets   int          `json:"targets"`
+	Classes   int          `json:"classes"`
+	Scaled    bool         `json:"scaled"` // charge full-scene work via ScaledParams
+	Label     string       `json:"label"`
+	NoCache   bool         `json:"no_cache"`
+	Scene     sceneRequest `json:"scene"`
+}
+
+// sceneRequest selects the synthetic scene; zero values take the reduced
+// WTC defaults.
+type sceneRequest struct {
+	Lines   int     `json:"lines"`
+	Samples int     `json:"samples"`
+	Bands   int     `json:"bands"`
+	Seed    int64   `json:"seed"`
+	SNRdB   float64 `json:"snr_db"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := s.buildSpec(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Jobs outlive the submit request: derive from Background, not
+	// r.Context(), which dies as soon as this handler returns.
+	job, err := s.sched.Submit(context.Background(), spec)
+	switch {
+	case errors.Is(err, hyperhet.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, hyperhet.ErrSchedulerClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// buildSpec resolves a submit request into a scheduler JobSpec.
+func (s *server) buildSpec(req *submitRequest) (hyperhet.JobSpec, error) {
+	var spec hyperhet.JobSpec
+
+	mode := hyperhet.JobMode(strings.ToLower(req.Mode))
+	if req.Mode == "" {
+		mode = hyperhet.ModeRun
+	}
+	spec.Mode = mode
+
+	if mode != hyperhet.ModeAdaptive {
+		switch strings.ToLower(req.Algorithm) {
+		case "atdca":
+			spec.Algorithm = hyperhet.ATDCA
+		case "ufcls":
+			spec.Algorithm = hyperhet.UFCLS
+		case "pct":
+			spec.Algorithm = hyperhet.PCT
+		case "morph":
+			spec.Algorithm = hyperhet.MORPH
+		default:
+			return spec, fmt.Errorf("unknown algorithm %q (want atdca, ufcls, pct or morph)", req.Algorithm)
+		}
+	}
+	switch strings.ToLower(req.Variant) {
+	case "", "hetero":
+		spec.Variant = hyperhet.Hetero
+	case "homo":
+		spec.Variant = hyperhet.Homo
+	default:
+		return spec, fmt.Errorf("unknown variant %q (want hetero or homo)", req.Variant)
+	}
+	if mode == hyperhet.ModeSequential {
+		if req.CycleTime < 0 {
+			return spec, fmt.Errorf("invalid cycle_time %v", req.CycleTime)
+		}
+		spec.CycleTime = req.CycleTime
+	} else {
+		net, err := resolveNetwork(req.Network, req.CPUs)
+		if err != nil {
+			return spec, err
+		}
+		spec.Network = net
+	}
+
+	pri, err := hyperhet.ParseJobPriority(strings.ToLower(req.Priority))
+	if err != nil {
+		return spec, err
+	}
+	spec.Priority = pri
+	if req.TimeoutMS < 0 {
+		return spec, fmt.Errorf("invalid timeout_ms %d", req.TimeoutMS)
+	}
+	spec.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	spec.Label = req.Label
+	spec.NoCache = req.NoCache
+
+	cfg := hyperhet.DefaultSceneConfig()
+	if req.Scene.Lines != 0 {
+		cfg.Lines = req.Scene.Lines
+	}
+	if req.Scene.Samples != 0 {
+		cfg.Samples = req.Scene.Samples
+	}
+	if req.Scene.Bands != 0 {
+		cfg.Bands = req.Scene.Bands
+	}
+	if req.Scene.Seed != 0 {
+		cfg.Seed = req.Scene.Seed
+	}
+	if req.Scene.SNRdB != 0 {
+		cfg.SNRdB = req.Scene.SNRdB
+	}
+	entry, err := s.scene(cfg)
+	if err != nil {
+		return spec, err
+	}
+	spec.Cube = entry.cube
+	spec.CubeDigest = entry.digest
+
+	spec.Params = hyperhet.DefaultParams()
+	if req.Targets != 0 {
+		if req.Targets < 0 {
+			return spec, fmt.Errorf("invalid targets %d", req.Targets)
+		}
+		spec.Params.Targets = req.Targets
+	}
+	if req.Classes != 0 {
+		if req.Classes < 0 {
+			return spec, fmt.Errorf("invalid classes %d", req.Classes)
+		}
+		spec.Params.PCT.Classes = req.Classes
+		spec.Params.Morph.Classes = req.Classes
+	}
+	if req.Scaled {
+		spec.Params = hyperhet.ScaledParams(spec.Params, cfg)
+	}
+	return spec, nil
+}
+
+// scene returns the cached scene for cfg, generating it on first use.
+func (s *server) scene(cfg hyperhet.SceneConfig) (*sceneEntry, error) {
+	s.mu.Lock()
+	if entry, ok := s.scenes[cfg]; ok {
+		s.mu.Unlock()
+		return entry, nil
+	}
+	s.mu.Unlock()
+
+	// Generate outside the lock: scenes take real time to synthesize and
+	// concurrent submissions must not serialize behind one another. A
+	// duplicate generation race just wastes one generation.
+	sc, err := hyperhet.GenerateScene(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scene generation: %w", err)
+	}
+	entry := &sceneEntry{cube: sc.Cube, digest: hyperhet.SchedCubeDigest(sc.Cube)}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.scenes) >= maxCachedScenes {
+		// Simple reset beats tracking recency for a cache this small.
+		s.scenes = make(map[hyperhet.SceneConfig]*sceneEntry)
+	}
+	s.scenes[cfg] = entry
+	return entry, nil
+}
+
+func resolveNetwork(name string, cpus int) (*hyperhet.Network, error) {
+	switch strings.ToLower(name) {
+	case "", "fully-het":
+		return hyperhet.FullyHeterogeneous(), nil
+	case "fully-homo":
+		return hyperhet.FullyHomogeneous(), nil
+	case "part-het":
+		return hyperhet.PartiallyHeterogeneous(), nil
+	case "part-homo":
+		return hyperhet.PartiallyHomogeneous(), nil
+	case "thunderhead":
+		if cpus == 0 {
+			cpus = 16
+		}
+		return hyperhet.Thunderhead(cpus)
+	}
+	return nil, fmt.Errorf("unknown network %q (want fully-het, fully-homo, part-het, part-homo or thunderhead)", name)
+}
+
+// jobResponse decorates the scheduler's status with a result summary.
+type jobResponse struct {
+	hyperhet.JobStatus
+	Result *resultSummary `json:"result,omitempty"`
+}
+
+// resultSummary is the compact outcome of a completed run.
+type resultSummary struct {
+	Network        string  `json:"network"`
+	Procs          int     `json:"procs"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	ComSeconds     float64 `json:"com_seconds"`
+	SeqSeconds     float64 `json:"seq_seconds"`
+	ParSeconds     float64 `json:"par_seconds"`
+	ImbalanceDAll  float64 `json:"imbalance_d_all"`
+	Targets        int     `json:"targets,omitempty"`
+	Classes        int     `json:"classes,omitempty"`
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp := jobResponse{JobStatus: job.Status()}
+	if rep := job.Report(); rep != nil {
+		sum := &resultSummary{
+			Network:        rep.Network,
+			Procs:          rep.Procs,
+			VirtualSeconds: rep.WallTime,
+			ComSeconds:     rep.Com,
+			SeqSeconds:     rep.Seq,
+			ParSeconds:     rep.Par,
+			ImbalanceDAll:  rep.DAll,
+		}
+		if rep.Detection != nil {
+			sum.Targets = len(rep.Detection.Targets)
+		}
+		if rep.Classification != nil {
+			sum.Classes = len(rep.Classification.Classes)
+		}
+		resp.Result = sum
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sched.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "cancel requested"})
+}
+
+// statsResponse is the body of GET /stats.
+type statsResponse struct {
+	hyperhet.SchedulerStats
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	ScenesCached  int     `json:"scenes_cached"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	scenes := len(s.scenes)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		SchedulerStats: s.sched.Stats(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		ScenesCached:   scenes,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

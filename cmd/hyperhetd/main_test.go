@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	hyperhet "repro"
+)
+
+// testServer spins up the HTTP API over a small scheduler.
+func testServer(t *testing.T, cfg hyperhet.SchedulerConfig) *httptest.Server {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	srv := newServer(cfg)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.close()
+	})
+	return ts
+}
+
+// tinyJob is a fast sequential submission on a minimal scene.
+const tinyJob = `{
+	"algorithm": "atdca", "mode": "sequential", "targets": 4,
+	"scene": {"lines": 24, "samples": 16, "bands": 8, "seed": 3}
+}`
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, doc
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, doc
+}
+
+func TestSubmitPollStats(t *testing.T) {
+	ts := testServer(t, hyperhet.SchedulerConfig{})
+
+	resp, doc := postJSON(t, ts.URL+"/submit", tinyJob)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %v", resp.StatusCode, doc)
+	}
+	id, _ := doc["id"].(string)
+	if id == "" {
+		t.Fatalf("submit response has no id: %v", doc)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var job map[string]any
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never settled: %v", id, job)
+		}
+		_, job = getJSON(t, ts.URL+"/jobs/"+id)
+		if st, _ := job["state"].(string); st == "completed" || st == "failed" || st == "cancelled" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if job["state"] != "completed" {
+		t.Fatalf("job settled as %v (error %v)", job["state"], job["error"])
+	}
+	result, ok := job["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("completed job has no result: %v", job)
+	}
+	if vs, _ := result["virtual_seconds"].(float64); vs <= 0 {
+		t.Fatalf("virtual_seconds = %v, want > 0", result["virtual_seconds"])
+	}
+	if tg, _ := result["targets"].(float64); int(tg) != 4 {
+		t.Fatalf("targets = %v, want 4", result["targets"])
+	}
+
+	resp, stats := getJSON(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	if c, _ := stats["completed"].(float64); c < 1 {
+		t.Fatalf("stats report %v completed, want >= 1", stats["completed"])
+	}
+}
+
+func TestSubmitRejectsBadRequests(t *testing.T) {
+	ts := testServer(t, hyperhet.SchedulerConfig{})
+	cases := []struct {
+		name, body string
+	}{
+		{"garbage", "{"},
+		{"unknown field", `{"algorithm": "atdca", "frobnicate": true}`},
+		{"bad algorithm", `{"algorithm": "fft"}`},
+		{"bad variant", `{"algorithm": "atdca", "variant": "diagonal"}`},
+		{"bad network", `{"algorithm": "atdca", "network": "ethernet"}`},
+		{"bad priority", `{"algorithm": "atdca", "priority": "urgent"}`},
+		{"bad scene", `{"algorithm": "atdca", "scene": {"lines": 2, "samples": 2, "bands": 2}}`},
+	}
+	for _, tc := range cases {
+		resp, doc := postJSON(t, ts.URL+"/submit", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%v), want 400", tc.name, resp.StatusCode, doc)
+		}
+		if msg, _ := doc["error"].(string); msg == "" {
+			t.Errorf("%s: error body missing", tc.name)
+		}
+	}
+}
+
+func TestBackpressureReturns429(t *testing.T) {
+	// One worker and a one-slot queue: the third concurrent submission
+	// of a slow job must be rejected with 429.
+	ts := testServer(t, hyperhet.SchedulerConfig{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	// One fixed scene: after the first submission generates it, the rest
+	// admit in microseconds while each run takes hundreds of
+	// milliseconds, so the one-slot queue must overflow.
+	const slow = `{
+		"algorithm": "morph", "network": "fully-het", "no_cache": true,
+		"scene": {"lines": 192, "samples": 96, "bands": 48, "seed": 42}
+	}`
+	sawFull := false
+	for i := 0; i < 8 && !sawFull; i++ {
+		resp, doc := postJSON(t, ts.URL+"/submit", slow)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			sawFull = true
+			if msg, _ := doc["error"].(string); !strings.Contains(msg, "queue full") {
+				t.Fatalf("429 error = %q, want queue-full", msg)
+			}
+		default:
+			t.Fatalf("submit %d: status %d (%v)", i, resp.StatusCode, doc)
+		}
+	}
+	if !sawFull {
+		t.Fatal("never saw a 429 despite a one-slot queue")
+	}
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	ts := testServer(t, hyperhet.SchedulerConfig{Workers: 1, QueueDepth: 4, CacheEntries: -1})
+	body := `{
+		"algorithm": "morph", "network": "fully-het",
+		"scene": {"lines": 192, "samples": 96, "bands": 48, "seed": 99}
+	}`
+	resp, doc := postJSON(t, ts.URL+"/submit", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d (%v)", resp.StatusCode, doc)
+	}
+	id := doc["id"].(string)
+	resp, _ = postJSON(t, ts.URL+"/jobs/"+id+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled job never settled")
+		}
+		_, job := getJSON(t, ts.URL+"/jobs/"+id)
+		if st, _ := job["state"].(string); st == "cancelled" {
+			break
+		} else if st == "completed" || st == "failed" {
+			t.Fatalf("job settled as %v, want cancelled", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/jobs/no-such-job/cancel", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, ts.URL+"/jobs/no-such-job")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get unknown job status = %d, want 404", resp.StatusCode)
+	}
+}

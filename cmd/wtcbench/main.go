@@ -33,6 +33,19 @@ func main() {
 		asJSON = flag.Bool("json", false, "emit one JSON document with every computed result instead of text tables")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "wtcbench: unexpected argument %q (all options are flags)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tableN < 0 || *tableN > 8 {
+		fmt.Fprintf(os.Stderr, "wtcbench: -table must be 1..8, got %d\n", *tableN)
+		os.Exit(2)
+	}
+	if *figure != 0 && *figure != 2 {
+		fmt.Fprintf(os.Stderr, "wtcbench: -figure must be 2 (the paper's only figure), got %d\n", *figure)
+		os.Exit(2)
+	}
 	if *tableN == 0 && *figure == 0 {
 		*all = true
 	}

@@ -22,6 +22,8 @@
 package hyperhet
 
 import (
+	"context"
+
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/scene"
+	"repro/internal/sched"
 	"repro/internal/spectral"
 )
 
@@ -204,6 +207,81 @@ func RunAdaptive(net *Network, f *Cube, p Params, opts AdaptiveOptions) (*Adapti
 func RunSequential(cycleTime float64, alg Algorithm, f *Cube, p Params) (*RunReport, error) {
 	return core.RunSequential(cycleTime, alg, f, p)
 }
+
+// Cancellable execution: the context variants abort an in-flight
+// simulated run promptly when ctx is cancelled or its deadline passes,
+// returning an error that satisfies errors.Is(err, context.Canceled) or
+// errors.Is(err, context.DeadlineExceeded).
+
+// RunContext is Run under a cancellation context.
+func RunContext(ctx context.Context, net *Network, alg Algorithm, v Variant, f *Cube, p Params) (*RunReport, error) {
+	return core.RunContext(ctx, net, alg, v, f, p)
+}
+
+// RunAdaptiveContext is RunAdaptive under a cancellation context.
+func RunAdaptiveContext(ctx context.Context, net *Network, f *Cube, p Params, opts AdaptiveOptions) (*AdaptiveReport, error) {
+	return core.RunAdaptiveContext(ctx, net, f, p, opts)
+}
+
+// RunSequentialContext is RunSequential under a cancellation context.
+func RunSequentialContext(ctx context.Context, cycleTime float64, alg Algorithm, f *Cube, p Params) (*RunReport, error) {
+	return core.RunSequentialContext(ctx, cycleTime, alg, f, p)
+}
+
+// Serving: the concurrent analysis-job scheduler behind cmd/hyperhetd.
+type (
+	// Scheduler multiplexes analysis jobs over a worker pool with a
+	// bounded admission queue, priorities, deadlines and a result cache.
+	Scheduler = sched.Scheduler
+	// SchedulerConfig parameterizes NewScheduler.
+	SchedulerConfig = sched.Config
+	// JobSpec describes one analysis job for Scheduler.Submit.
+	JobSpec = sched.JobSpec
+	// Job is a submitted analysis job.
+	Job = sched.Job
+	// JobStatus is a JSON-shaped snapshot of a job.
+	JobStatus = sched.JobStatus
+	// JobState is a job's lifecycle state.
+	JobState = sched.State
+	// JobMode selects the execution entry point of a job.
+	JobMode = sched.Mode
+	// JobPriority is a job's scheduling class.
+	JobPriority = sched.Priority
+	// SchedulerStats is a snapshot of the scheduler's counters.
+	SchedulerStats = sched.Stats
+)
+
+// Scheduling classes, job modes and lifecycle states.
+const (
+	Batch          = sched.Batch
+	Interactive    = sched.Interactive
+	ModeRun        = sched.ModeRun
+	ModeAdaptive   = sched.ModeAdaptive
+	ModeSequential = sched.ModeSequential
+	JobQueued      = sched.StateQueued
+	JobRunning     = sched.StateRunning
+	JobCompleted   = sched.StateCompleted
+	JobFailed      = sched.StateFailed
+	JobCancelled   = sched.StateCancelled
+)
+
+// Scheduler admission and lookup errors.
+var (
+	ErrQueueFull       = sched.ErrQueueFull
+	ErrSchedulerClosed = sched.ErrClosed
+	ErrUnknownJob      = sched.ErrUnknownJob
+)
+
+// NewScheduler starts a job scheduler; Close it when done. Jobs are
+// submitted with Submit, awaited with Wait, observed with Stats.
+func NewScheduler(cfg SchedulerConfig) *Scheduler { return sched.New(cfg) }
+
+// ParseJobPriority maps "interactive" or "batch" (or "") to a JobPriority.
+func ParseJobPriority(s string) (JobPriority, error) { return sched.ParsePriority(s) }
+
+// SchedCubeDigest returns the scene component of the scheduler's result
+// cache key; precompute it when submitting one cube many times.
+func SchedCubeDigest(f *Cube) string { return sched.CubeDigest(f) }
 
 // Scoring.
 

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algo"
@@ -140,11 +141,25 @@ type RunReport struct {
 // Run executes one algorithm variant on the given network against the
 // scene cube and returns the full report.
 func Run(net *platform.Network, alg Algorithm, variant Variant, f *cube.Cube, params Params) (*RunReport, error) {
+	return RunContext(context.Background(), net, alg, variant, f, params)
+}
+
+// RunContext is Run under a cancellation context: when ctx is cancelled
+// (or its deadline passes) the in-flight simulated run aborts promptly and
+// the returned error wraps ctx.Err(), detectable with errors.Is. A nil ctx
+// behaves like context.Background().
+func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, variant Variant, f *cube.Cube, params Params) (*RunReport, error) {
 	if net == nil {
 		return nil, fmt.Errorf("core: nil network")
 	}
 	if f == nil {
 		return nil, fmt.Errorf("core: nil cube")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s/%s on %s: %w", alg, variant, net.Name, err)
 	}
 	params = params.withDefaults()
 	strat, err := variant.Strategy()
@@ -152,6 +167,7 @@ func Run(net *platform.Network, alg Algorithm, variant Variant, f *cube.Cube, pa
 		return nil, err
 	}
 	world := mpi.NewWorld(net)
+	world.SetContext(ctx)
 	if params.WorkScale > 0 {
 		world.SetComputeScale(params.WorkScale)
 	}
@@ -243,14 +259,27 @@ type AdaptiveReport struct {
 // future-work direction): equal initial shares, measurement-driven
 // re-partitioning between rounds. See algo.ATDCAAdaptive.
 func RunAdaptive(net *platform.Network, f *cube.Cube, params Params, opts algo.AdaptiveOptions) (*AdaptiveReport, error) {
+	return RunAdaptiveContext(context.Background(), net, f, params, opts)
+}
+
+// RunAdaptiveContext is RunAdaptive under a cancellation context; see
+// RunContext for the cancellation semantics.
+func RunAdaptiveContext(ctx context.Context, net *platform.Network, f *cube.Cube, params Params, opts algo.AdaptiveOptions) (*AdaptiveReport, error) {
 	if net == nil {
 		return nil, fmt.Errorf("core: nil network")
 	}
 	if f == nil {
 		return nil, fmt.Errorf("core: nil cube")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: adaptive ATDCA on %s: %w", net.Name, err)
+	}
 	params = params.withDefaults()
 	world := mpi.NewWorld(net)
+	world.SetContext(ctx)
 	if params.WorkScale > 0 {
 		world.SetComputeScale(params.WorkScale)
 	}
@@ -305,6 +334,12 @@ func RunAdaptive(net *platform.Network, f *cube.Cube, params Params, opts algo.A
 // network, which degenerates to the sequential algorithm with zero
 // communication.
 func RunSequential(cycleTime float64, alg Algorithm, f *cube.Cube, params Params) (*RunReport, error) {
+	return RunSequentialContext(context.Background(), cycleTime, alg, f, params)
+}
+
+// RunSequentialContext is RunSequential under a cancellation context; see
+// RunContext for the cancellation semantics.
+func RunSequentialContext(ctx context.Context, cycleTime float64, alg Algorithm, f *cube.Cube, params Params) (*RunReport, error) {
 	procs := []platform.Processor{{
 		ID:        1,
 		Name:      "single node",
@@ -315,5 +350,5 @@ func RunSequential(cycleTime float64, alg Algorithm, f *cube.Cube, params Params
 	if err != nil {
 		return nil, err
 	}
-	return Run(net, alg, Hetero, f, params)
+	return RunContext(ctx, net, alg, Hetero, f, params)
 }

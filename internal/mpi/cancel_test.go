@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/vtime"
+)
+
+// cancelNet builds a small homogeneous test network.
+func cancelNet(t *testing.T, p int) *platform.Network {
+	t.Helper()
+	procs := make([]platform.Processor, p)
+	links := make([][]float64, p)
+	for i := range procs {
+		procs[i] = platform.Processor{ID: i + 1, CycleTime: 0.01, MemoryMB: 1024}
+		links[i] = make([]float64, p)
+		for j := range links[i] {
+			if i != j {
+				links[i][j] = 10
+			}
+		}
+	}
+	net, err := platform.New("cancel-test", procs, links, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// A context cancelled before the run starts aborts the program at its
+// first charge, and Run reports context.Canceled.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	w := NewWorld(cancelNet(t, 4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w.SetContext(ctx)
+	computed := false
+	_, err := w.Run(func(c *Comm) any {
+		c.Compute(1e6, vtime.Par)
+		computed = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if computed {
+		t.Fatal("program kept computing past a cancelled context")
+	}
+}
+
+// A deadline that expires while every rank is blocked in Recv unblocks
+// the run: without cancellation this program would deadlock forever.
+func TestRunDeadlineUnblocksRecv(t *testing.T) {
+	w := NewWorld(cancelNet(t, 3))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	w.SetContext(ctx)
+	done := make(chan error, 1)
+	go func() {
+		// Every rank waits for a message that no one ever sends.
+		_, err := w.Run(func(c *Comm) any {
+			c.Recv((c.Rank()+1)%c.Size(), 99)
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Run error = %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not unblock after its deadline expired")
+	}
+}
+
+// Cancellation mid-run aborts promptly even when ranks are busy in a
+// compute/communicate loop rather than parked in Recv.
+func TestRunCancelMidLoop(t *testing.T) {
+	w := NewWorld(cancelNet(t, 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	w.SetContext(ctx)
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Run(func(c *Comm) any {
+			if c.Root() {
+				close(started)
+			}
+			for i := 0; ; i++ {
+				c.Compute(1e3, vtime.Par)
+				if c.Root() {
+					c.Send(1, i, nil, 8)
+					c.Recv(1, i)
+				} else {
+					c.Recv(0, i)
+					c.Send(0, i, nil, 8)
+				}
+			}
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop after cancellation")
+	}
+}
+
+// A genuine program failure is reported in preference to the
+// cancellation panics it may race with on other ranks.
+func TestRunFailureBeatsCancel(t *testing.T) {
+	w := NewWorld(cancelNet(t, 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.SetContext(ctx)
+	_, err := w.Run(func(c *Comm) any {
+		if c.Root() {
+			panic("kaboom")
+		}
+		c.Recv(0, 1)
+		return nil
+	})
+	if err == nil || errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want the originating panic", err)
+	}
+}
+
+// A world without a context behaves exactly as before: no cancellation
+// machinery engages.
+func TestRunNoContext(t *testing.T) {
+	w := NewWorld(cancelNet(t, 2))
+	res, err := w.Run(func(c *Comm) any {
+		c.Compute(1e6, vtime.Par)
+		c.Barrier(7)
+		return c.Rank()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Root().(int); got != 0 {
+		t.Fatalf("root value = %d, want 0", got)
+	}
+}

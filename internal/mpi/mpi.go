@@ -30,6 +30,8 @@
 package mpi
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -59,6 +61,7 @@ type message struct {
 // and eager allocation at P=256 would cost gigabytes of channel buffers.
 type World struct {
 	net          *platform.Network
+	ctx          context.Context // nil means "never cancelled"
 	mailboxMu    sync.Mutex
 	mailbox      [][]chan message // [src][dst], nil until first use
 	failed       chan struct{}    // closed when any rank panics
@@ -123,6 +126,41 @@ func (w *World) fail() {
 	w.failOnce.Do(func() { close(w.failed) })
 }
 
+// SetContext attaches a cancellation context to the world. Once the
+// context is done, every rank aborts at its next communication or
+// computation charge (and ranks blocked in Recv unblock immediately), and
+// Run returns an error wrapping ctx.Err(), so callers can detect
+// cancellation with errors.Is(err, context.Canceled) or
+// errors.Is(err, context.DeadlineExceeded). Must be called before Run.
+func (w *World) SetContext(ctx context.Context) { w.ctx = ctx }
+
+// abortError is the panic payload of a context-cancelled rank; Run
+// translates it into an error wrapping the context's cause.
+type abortError struct{ err error }
+
+// done returns the cancellation channel, or nil (blocks forever in a
+// select) when no context is attached.
+func (w *World) done() <-chan struct{} {
+	if w.ctx == nil {
+		return nil
+	}
+	return w.ctx.Done()
+}
+
+// checkAborted panics with the context error if the world's context is
+// done. Called on every Send, Recv and Compute so a cancelled run stops
+// within one charge of virtual work.
+func (w *World) checkAborted() {
+	if w.ctx == nil {
+		return
+	}
+	select {
+	case <-w.ctx.Done():
+		panic(abortError{w.ctx.Err()})
+	default:
+	}
+}
+
 // Network returns the platform the world simulates.
 func (w *World) Network() *platform.Network { return w.net }
 
@@ -160,6 +198,7 @@ func (c *Comm) World() *World { return c.world }
 // compute scale. Use it for work that grows with the scene (per-pixel
 // loops); use ComputeFixed for problem-size-independent steps.
 func (c *Comm) Compute(flops float64, cat vtime.Category) {
+	c.world.checkAborted()
 	start := c.clock.Now()
 	c.clock.Compute(flops*c.world.computeScale, cat)
 	c.world.trace.add(Event{Rank: c.rank, Kind: EventCompute, Peer: -1, Start: start, Dur: c.clock.Now() - start, Cat: cat})
@@ -170,6 +209,7 @@ func (c *Comm) Compute(flops float64, cat vtime.Category) {
 // Gram builds, candidate re-scoring at the master, set merges, and the
 // eigendecomposition.
 func (c *Comm) ComputeFixed(flops float64, cat vtime.Category) {
+	c.world.checkAborted()
 	start := c.clock.Now()
 	c.clock.Compute(flops, cat)
 	c.world.trace.add(Event{Rank: c.rank, Kind: EventCompute, Peer: -1, Start: start, Dur: c.clock.Now() - start, Cat: cat})
@@ -191,6 +231,7 @@ func (c *Comm) Elapse(d float64, cat vtime.Category) { c.clock.Add(d, cat) }
 // mutate it afterwards. (The simulation shares memory; the cost model,
 // not a copy, represents the wire.)
 func (c *Comm) Send(dst, tag int, payload any, bytes int) {
+	c.world.checkAborted()
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (world size %d)", dst, c.Size()))
 	}
@@ -216,10 +257,13 @@ func (c *Comm) Recv(src, tag int) any {
 	if src < 0 || src >= c.Size() {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d (world size %d)", src, c.Size()))
 	}
+	c.world.checkAborted()
 	box := c.world.box(src, c.rank)
 	var m message
 	select {
 	case m = <-box:
+	case <-c.world.done():
+		panic(abortError{c.world.ctx.Err()})
 	case <-c.world.failed:
 		// Drain anything that raced with the failure notification.
 		select {
@@ -406,7 +450,11 @@ func (w *World) Run(program Program) (result *RunResult, err error) {
 			c := &Comm{world: w, rank: rank, clock: vtime.NewClock(w.net.Procs[rank].CycleTime)}
 			defer func() {
 				if r := recover(); r != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+					if a, ok := r.(abortError); ok {
+						errs[rank] = fmt.Errorf("mpi: rank %d: run cancelled: %w", rank, a.err)
+					} else {
+						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+					}
 					w.fail()
 				}
 				res.Clocks[rank] = c.clock.Snapshot()
@@ -416,24 +464,32 @@ func (w *World) Run(program Program) (result *RunResult, err error) {
 	}
 	wg.Wait()
 	// Prefer the originating failure over the "aborted because another
-	// rank failed" cascade it triggers on the surviving ranks.
-	var first, cascade error
+	// rank failed" cascade it triggers on the surviving ranks, and a
+	// genuine program failure over the context-cancellation panics that
+	// may race with it on other ranks.
+	var first, cancelled, cascade error
 	for _, e := range errs {
-		if e == nil {
-			continue
-		}
-		if strings.Contains(e.Error(), "another rank failed") {
+		switch {
+		case e == nil:
+		case errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded):
+			if cancelled == nil {
+				cancelled = e
+			}
+		case strings.Contains(e.Error(), "another rank failed"):
 			if cascade == nil {
 				cascade = e
 			}
-			continue
-		}
-		if first == nil {
-			first = e
+		default:
+			if first == nil {
+				first = e
+			}
 		}
 	}
 	if first != nil {
 		return nil, first
+	}
+	if cancelled != nil {
+		return nil, cancelled
 	}
 	if cascade != nil {
 		return nil, cascade

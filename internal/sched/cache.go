@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/platform"
+)
+
+// CubeDigest returns a stable 64-bit FNV-1a digest of a cube's geometry
+// and samples, the scene component of the scheduler's result-cache key.
+// Submitters that reuse one cube across many jobs can compute it once and
+// pass it in JobSpec.CubeDigest to skip the per-submit hashing pass.
+func CubeDigest(c *cube.Cube) string {
+	h := fnv.New64a()
+	var dims [24]byte
+	binary.LittleEndian.PutUint64(dims[0:], uint64(c.Lines))
+	binary.LittleEndian.PutUint64(dims[8:], uint64(c.Samples))
+	binary.LittleEndian.PutUint64(dims[16:], uint64(c.Bands))
+	h.Write(dims[:])
+	// Hash samples in chunks to keep Write calls off the per-sample path.
+	const chunk = 4096
+	buf := make([]byte, 0, chunk*4)
+	for i, v := range c.Data {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		buf = append(buf, b[:]...)
+		if len(buf) == cap(buf) || i == len(c.Data)-1 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// networkFingerprint summarizes the platform a job runs on, so results
+// from different networks never collide in the cache: virtual timings are
+// a function of the platform description.
+func networkFingerprint(net *platform.Network) string {
+	if net == nil {
+		return "nil"
+	}
+	return fmt.Sprintf("%s/%d/%v/%.6f", net.Name, net.Size(), net.CycleTimes(), net.AverageLinkMS())
+}
+
+// cacheKey builds the result-cache key of a spec: (scene digest,
+// algorithm, variant, mode, params, platform). An empty key disables
+// caching for the job.
+func (spec *JobSpec) cacheKey() string {
+	if spec.NoCache {
+		return ""
+	}
+	digest := spec.CubeDigest
+	if digest == "" {
+		digest = CubeDigest(spec.Cube)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%+v|%+v|%.6f|%s",
+		digest, spec.Mode, spec.Algorithm, spec.Variant,
+		spec.Params, spec.Adaptive, spec.CycleTime,
+		networkFingerprint(spec.Network))
+	return fmt.Sprintf("%s-%016x", digest, h.Sum64())
+}
+
+// cachedResult is one memoized job outcome. Reports are shared by
+// pointer across cache hits and must be treated as immutable by callers.
+type cachedResult struct {
+	report   *core.RunReport
+	adaptive *core.AdaptiveReport
+}
+
+// resultCache is a mutex-guarded LRU of job results.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheSlot struct {
+	key string
+	res cachedResult
+}
+
+// newResultCache returns an LRU holding up to max entries; nil when the
+// cache is disabled (max <= 0).
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		return nil
+	}
+	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (rc *resultCache) get(key string) (cachedResult, bool) {
+	if rc == nil || key == "" {
+		return cachedResult{}, false
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.items[key]
+	if !ok {
+		return cachedResult{}, false
+	}
+	rc.order.MoveToFront(el)
+	return el.Value.(*cacheSlot).res, true
+}
+
+func (rc *resultCache) put(key string, res cachedResult) {
+	if rc == nil || key == "" {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.items[key]; ok {
+		el.Value.(*cacheSlot).res = res
+		rc.order.MoveToFront(el)
+		return
+	}
+	rc.items[key] = rc.order.PushFront(&cacheSlot{key: key, res: res})
+	for rc.order.Len() > rc.max {
+		last := rc.order.Back()
+		rc.order.Remove(last)
+		delete(rc.items, last.Value.(*cacheSlot).key)
+	}
+}
+
+func (rc *resultCache) len() int {
+	if rc == nil {
+		return 0
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.order.Len()
+}

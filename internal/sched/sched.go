@@ -1,0 +1,738 @@
+// Package sched is an admission-controlled job scheduler that multiplexes
+// many simulated analysis runs (core.Run / core.RunAdaptive /
+// core.RunSequential) across a pool of workers.
+//
+// The repository's execution layer is strictly one-run-at-a-time; this
+// package supplies the serving layer above it: a bounded submission queue
+// with backpressure (Submit fails with ErrQueueFull rather than growing
+// without bound), two priority classes (interactive jobs always dispatch
+// before batch jobs), per-job deadlines and cancellation threaded down
+// through core and the mpi message loop via context.Context, an LRU
+// result cache keyed on (scene digest, algorithm, variant, params,
+// platform), and per-job plus aggregate counters.
+//
+// Lifecycle: Submit returns a *Job immediately (or an admission error);
+// the job moves queued -> running -> one of completed / failed /
+// cancelled. Wait blocks until a job settles. Cancelling a running job
+// aborts its simulation promptly and frees the worker slot for the next
+// job. Close drains the scheduler: queued jobs are cancelled, running
+// jobs are aborted, workers exit.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/platform"
+)
+
+// Admission and lookup errors.
+var (
+	// ErrQueueFull reports that the bounded submission queue is at
+	// capacity; the caller should back off and resubmit.
+	ErrQueueFull = errors.New("sched: submission queue full")
+	// ErrClosed reports a submission to (or job on) a closed scheduler.
+	ErrClosed = errors.New("sched: scheduler closed")
+	// ErrUnknownJob reports a job ID the scheduler does not know
+	// (never submitted, or evicted from the finished-job history).
+	ErrUnknownJob = errors.New("sched: unknown job")
+)
+
+// Priority is a job's scheduling class.
+type Priority int
+
+const (
+	// Batch jobs run whenever no interactive work is queued.
+	Batch Priority = iota
+	// Interactive jobs dispatch before any queued batch job.
+	Interactive
+	numPriorities
+)
+
+// String returns the lower-case class name used in JSON and logs.
+func (p Priority) String() string {
+	switch p {
+	case Batch:
+		return "batch"
+	case Interactive:
+		return "interactive"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// ParsePriority maps the string form back to a Priority.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "batch":
+		return Batch, nil
+	case "interactive":
+		return Interactive, nil
+	}
+	return 0, fmt.Errorf("sched: unknown priority %q (want interactive or batch)", s)
+}
+
+// Mode selects which execution entry point a job drives.
+type Mode string
+
+const (
+	// ModeRun executes core.Run (static WEA or equal-share partitioning).
+	ModeRun Mode = "run"
+	// ModeAdaptive executes core.RunAdaptive (measurement-driven ATDCA).
+	ModeAdaptive Mode = "adaptive"
+	// ModeSequential executes core.RunSequential on one processor.
+	ModeSequential Mode = "sequential"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: Queued -> Running -> one of the three final states.
+// Jobs cancelled while still queued skip Running.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Final reports whether the state is terminal.
+func (s State) Final() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCancelled
+}
+
+// defaultSequentialCycleTime is the paper's baseline processor (Table 1)
+// used when a sequential job does not name a cycle-time.
+const defaultSequentialCycleTime = 0.0072
+
+// JobSpec describes one analysis job.
+type JobSpec struct {
+	// Algorithm selects the analysis algorithm (ModeRun / ModeSequential).
+	Algorithm core.Algorithm
+	// Variant selects the partitioning (ModeRun only); default Hetero.
+	Variant core.Variant
+	// Mode selects the execution entry point; default ModeRun.
+	Mode Mode
+	// Network is the simulated platform (ModeRun and ModeAdaptive).
+	Network *platform.Network
+	// CycleTime is the processor speed for ModeSequential jobs, in
+	// seconds per megaflop (0 selects the paper's 0.0072 baseline).
+	CycleTime float64
+	// Cube is the scene to analyze. The scheduler treats it as immutable
+	// for the lifetime of the job.
+	Cube *cube.Cube
+	// CubeDigest optionally carries a precomputed CubeDigest(Cube);
+	// empty means the scheduler hashes the cube at submission.
+	CubeDigest string
+	// Params are the per-algorithm parameters.
+	Params core.Params
+	// Adaptive tunes ModeAdaptive jobs.
+	Adaptive algo.AdaptiveOptions
+	// Priority is the scheduling class; default Batch.
+	Priority Priority
+	// Timeout is the per-job deadline measured from submission; 0 means
+	// the scheduler's Config.DefaultTimeout (which may itself be none).
+	Timeout time.Duration
+	// Label is an optional caller tag echoed in JobStatus.
+	Label string
+	// NoCache bypasses the result cache for this job.
+	NoCache bool
+}
+
+// validate normalizes defaults and rejects malformed specs.
+func (spec *JobSpec) validate() error {
+	if spec.Cube == nil {
+		return errors.New("sched: job spec has no cube")
+	}
+	if spec.Mode == "" {
+		spec.Mode = ModeRun
+	}
+	if spec.Variant == "" {
+		spec.Variant = core.Hetero
+	}
+	if spec.Priority < 0 || spec.Priority >= numPriorities {
+		return fmt.Errorf("sched: invalid priority %d", spec.Priority)
+	}
+	if spec.Timeout < 0 {
+		return fmt.Errorf("sched: negative timeout %v", spec.Timeout)
+	}
+	switch spec.Mode {
+	case ModeRun, ModeAdaptive:
+		if spec.Network == nil {
+			return fmt.Errorf("sched: %s job has no network", spec.Mode)
+		}
+	case ModeSequential:
+		if spec.CycleTime == 0 {
+			spec.CycleTime = defaultSequentialCycleTime
+		}
+		if spec.CycleTime < 0 {
+			return fmt.Errorf("sched: invalid cycle-time %v", spec.CycleTime)
+		}
+	default:
+		return fmt.Errorf("sched: unknown mode %q", spec.Mode)
+	}
+	if spec.Mode == ModeRun || spec.Mode == ModeSequential {
+		switch spec.Algorithm {
+		case core.ATDCA, core.UFCLS, core.PCT, core.MORPH:
+		default:
+			return fmt.Errorf("sched: unknown algorithm %q", spec.Algorithm)
+		}
+	}
+	return nil
+}
+
+// Job is one submitted analysis job. All accessors are safe for
+// concurrent use.
+type Job struct {
+	id       string
+	spec     JobSpec
+	cacheKey string
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	mu          sync.Mutex
+	state       State
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	report      *core.RunReport
+	adaptive    *core.AdaptiveReport
+	err         error
+	fromCache   bool
+}
+
+// ID returns the scheduler-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's specification.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Done returns a channel closed when the job reaches a final state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel aborts the job: dequeues it if still queued, or aborts its
+// in-flight simulation if running. Safe to call at any time.
+func (j *Job) Cancel() { j.cancel() }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Report returns the run report of a completed job (nil otherwise).
+// Reports may be shared with other jobs through the result cache and
+// must be treated as immutable.
+func (j *Job) Report() *core.RunReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// AdaptiveReport returns the adaptive trace of a completed ModeAdaptive
+// job (nil otherwise).
+func (j *Job) AdaptiveReport() *core.AdaptiveReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.adaptive
+}
+
+// Err returns the job's terminal error: nil while in flight or on
+// success, the failure cause otherwise. Cancelled and deadline-expired
+// jobs report errors satisfying errors.Is(err, context.Canceled) or
+// errors.Is(err, context.DeadlineExceeded).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// FromCache reports whether the job was satisfied by the result cache.
+func (j *Job) FromCache() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fromCache
+}
+
+// JobStatus is an immutable snapshot of a job, shaped for JSON.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	State     State     `json:"state"`
+	Priority  string    `json:"priority"`
+	Mode      Mode      `json:"mode"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	Variant   string    `json:"variant,omitempty"`
+	Label     string    `json:"label,omitempty"`
+	FromCache bool      `json:"from_cache"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	// VirtualSeconds is the completed run's simulated wall time.
+	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Priority:  j.spec.Priority.String(),
+		Mode:      j.spec.Mode,
+		Algorithm: string(j.spec.Algorithm),
+		Variant:   string(j.spec.Variant),
+		Label:     j.spec.Label,
+		FromCache: j.fromCache,
+		Submitted: j.submittedAt,
+		Started:   j.startedAt,
+		Finished:  j.finishedAt,
+	}
+	if j.spec.Mode == ModeAdaptive {
+		st.Algorithm = string(core.ATDCA)
+		st.Variant = "Adaptive"
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.report != nil {
+		st.VirtualSeconds = j.report.WallTime
+	}
+	return st
+}
+
+// startedAtTime returns when the job began running (zero if it never ran).
+func (j *Job) startedAtTime() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.startedAt
+}
+
+// Config parameterizes a Scheduler. Zero values select the defaults.
+type Config struct {
+	// Workers is the size of the execution pool: how many simulated
+	// networks run concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the submission queue across both priority
+	// classes; a full queue rejects with ErrQueueFull (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 128; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout applies to jobs that do not set JobSpec.Timeout
+	// (default none).
+	DefaultTimeout time.Duration
+	// RetainJobs bounds how many finished jobs stay queryable by ID
+	// before the oldest are evicted (default 1024).
+	RetainJobs int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 1024
+	}
+	return cfg
+}
+
+// Stats is a snapshot of the scheduler's aggregate counters.
+type Stats struct {
+	// Gauges.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// Monotonic counters.
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	CacheHits uint64 `json:"cache_hits"`
+	CacheMiss uint64 `json:"cache_misses"`
+	// VirtualSeconds accumulates the simulated wall time of every
+	// completed (non-cached) run.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	// CacheEntries is the current LRU population.
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Scheduler multiplexes analysis jobs over a worker pool. Create with
+// New; Close when done.
+type Scheduler struct {
+	cfg   Config
+	cache *resultCache
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	closed   bool
+	queues   [numPriorities][]*Job // FIFO per class
+	jobs     map[string]*Job
+	finished []string // finished job IDs, oldest first, for retention
+	nextID   uint64
+	running  int
+	ctr      struct {
+		submitted, rejected          uint64
+		completed, failed, cancelled uint64
+		cacheHits, cacheMisses       uint64
+		virtualSeconds               float64
+	}
+
+	// testHookRunning, when set (tests only), is called after a job
+	// transitions to StateRunning and before its simulation starts.
+	testHookRunning func(*Job)
+}
+
+// New creates a scheduler and starts its worker pool.
+func New(cfg Config) *Scheduler {
+	s := &Scheduler{
+		cfg:  cfg.withDefaults(),
+		jobs: make(map[string]*Job),
+	}
+	s.cache = newResultCache(s.cfg.CacheEntries)
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. It returns ErrQueueFull when the
+// bounded queue is at capacity and ErrClosed after Close. The job's
+// context is derived from ctx (nil means Background): cancelling ctx, the
+// job's deadline expiring, or Job.Cancel all abort the job.
+func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Hash the cube outside the lock: admission stays cheap under
+	// contention even for large scenes.
+	key := spec.cacheKey()
+
+	s.mu.Lock()
+	if s.closed {
+		s.ctr.rejected++
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.queuedLocked() >= s.cfg.QueueDepth {
+		s.ctr.rejected++
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	timeout := spec.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	jctx, jcancel := context.WithCancel(ctx)
+	if timeout > 0 {
+		jctx, jcancel = context.WithTimeout(ctx, timeout)
+	}
+	s.nextID++
+	j := &Job{
+		id:          fmt.Sprintf("job-%d", s.nextID),
+		spec:        spec,
+		cacheKey:    key,
+		ctx:         jctx,
+		cancel:      jcancel,
+		done:        make(chan struct{}),
+		state:       StateQueued,
+		submittedAt: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.queues[spec.Priority] = append(s.queues[spec.Priority], j)
+	s.ctr.submitted++
+	s.evictFinishedLocked()
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	// A watcher finishes the job the moment its context dies while it is
+	// still queued, so expired jobs free queue capacity immediately
+	// instead of occupying a slot until a worker pops them.
+	go s.watchQueued(j)
+	return j, nil
+}
+
+// queuedLocked returns the queue population across classes.
+func (s *Scheduler) queuedLocked() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// evictFinishedLocked trims the finished-job history to RetainJobs.
+func (s *Scheduler) evictFinishedLocked() {
+	for len(s.finished) > s.cfg.RetainJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// watchQueued cancels a job out of the queue when its context dies first.
+func (s *Scheduler) watchQueued(j *Job) {
+	select {
+	case <-j.ctx.Done():
+		if s.dequeue(j) {
+			s.finish(j, StateCancelled, cachedResult{}, fmt.Errorf("sched: job %s cancelled while queued: %w", j.id, context.Cause(j.ctx)), false)
+		}
+	case <-j.done:
+	}
+}
+
+// dequeue removes a still-queued job, reporting whether it was present.
+// Queue membership is the token that makes finish exactly-once between
+// the watcher and the workers.
+func (s *Scheduler) dequeue(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[j.spec.Priority]
+	for i, cand := range q {
+		if cand == j {
+			s.queues[j.spec.Priority] = append(q[:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Job looks up a job by ID.
+func (s *Scheduler) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Cancel aborts the identified job.
+func (s *Scheduler) Cancel(id string) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	j.Cancel()
+	return nil
+}
+
+// Wait blocks until the job settles (returning the job) or ctx is done
+// (returning ctx's error).
+func (s *Scheduler) Wait(ctx context.Context, id string) (*Job, error) {
+	j, err := s.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		return j, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Stats snapshots the aggregate counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Queued:         s.queuedLocked(),
+		Running:        s.running,
+		Submitted:      s.ctr.submitted,
+		Rejected:       s.ctr.rejected,
+		Completed:      s.ctr.completed,
+		Failed:         s.ctr.failed,
+		Cancelled:      s.ctr.cancelled,
+		CacheHits:      s.ctr.cacheHits,
+		CacheMiss:      s.ctr.cacheMisses,
+		VirtualSeconds: s.ctr.virtualSeconds,
+		CacheEntries:   s.cache.len(),
+	}
+}
+
+// Close stops the scheduler: queued jobs are cancelled, running jobs are
+// aborted via their contexts, and all workers exit before Close returns.
+// Subsequent Submits fail with ErrClosed.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	var pending []*Job
+	for p := range s.queues {
+		pending = append(pending, s.queues[p]...)
+		s.queues[p] = nil
+	}
+	var inFlight []*Job
+	for _, j := range s.jobs {
+		if !j.State().Final() {
+			inFlight = append(inFlight, j)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, j := range pending {
+		s.finish(j, StateCancelled, cachedResult{}, fmt.Errorf("sched: job %s: %w", j.id, ErrClosed), false)
+	}
+	for _, j := range inFlight {
+		j.Cancel()
+	}
+	s.wg.Wait()
+}
+
+// worker runs jobs until the scheduler closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// next pops the highest-priority queued job, blocking while the queue is
+// empty; nil means the scheduler closed.
+func (s *Scheduler) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for p := numPriorities - 1; p >= 0; p-- {
+			if q := s.queues[p]; len(q) > 0 {
+				j := q[0]
+				s.queues[p] = q[1:]
+				return j
+			}
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Scheduler) runJob(j *Job) {
+	// Cancelled (or deadline-expired) between submission and dispatch:
+	// settle without consuming the worker slot. The queue watcher
+	// usually wins this race; this is the fallback.
+	if err := j.ctx.Err(); err != nil {
+		s.finish(j, StateCancelled, cachedResult{}, fmt.Errorf("sched: job %s cancelled while queued: %w", j.id, err), false)
+		return
+	}
+
+	if res, ok := s.cache.get(j.cacheKey); ok {
+		s.mu.Lock()
+		s.ctr.cacheHits++
+		s.mu.Unlock()
+		s.finish(j, StateCompleted, res, nil, true)
+		return
+	}
+	if j.cacheKey != "" {
+		s.mu.Lock()
+		s.ctr.cacheMisses++
+		s.mu.Unlock()
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.running++
+	hook := s.testHookRunning
+	s.mu.Unlock()
+	if hook != nil {
+		hook(j)
+	}
+
+	var res cachedResult
+	var err error
+	spec := &j.spec
+	switch spec.Mode {
+	case ModeAdaptive:
+		res.adaptive, err = core.RunAdaptiveContext(j.ctx, spec.Network, spec.Cube, spec.Params, spec.Adaptive)
+		if res.adaptive != nil {
+			res.report = &res.adaptive.RunReport
+		}
+	case ModeSequential:
+		res.report, err = core.RunSequentialContext(j.ctx, spec.CycleTime, spec.Algorithm, spec.Cube, spec.Params)
+	default: // ModeRun
+		res.report, err = core.RunContext(j.ctx, spec.Network, spec.Algorithm, spec.Variant, spec.Cube, spec.Params)
+	}
+
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+
+	switch {
+	case err == nil:
+		s.cache.put(j.cacheKey, res)
+		s.finish(j, StateCompleted, res, nil, false)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.finish(j, StateCancelled, cachedResult{}, err, false)
+	default:
+		s.finish(j, StateFailed, cachedResult{}, err, false)
+	}
+}
+
+// finish settles a job exactly once (callers guarantee single settlement
+// via queue-membership or worker ownership) and updates the counters.
+func (s *Scheduler) finish(j *Job, state State, res cachedResult, err error, fromCache bool) {
+	j.mu.Lock()
+	j.state = state
+	j.report = res.report
+	j.adaptive = res.adaptive
+	j.err = err
+	j.fromCache = fromCache
+	j.finishedAt = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context's timer resources
+	close(j.done)
+
+	s.mu.Lock()
+	switch state {
+	case StateCompleted:
+		s.ctr.completed++
+		if res.report != nil && !fromCache {
+			s.ctr.virtualSeconds += res.report.WallTime
+		}
+	case StateFailed:
+		s.ctr.failed++
+	case StateCancelled:
+		s.ctr.cancelled++
+	}
+	s.finished = append(s.finished, j.id)
+	s.mu.Unlock()
+}
