@@ -25,6 +25,14 @@
 //	  "priority": "interactive", "timeout_ms": 60000,
 //	  "scene": {"lines": 64, "samples": 32, "bands": 32, "seed": 7}
 //	}'
+//
+// An optional "faults" block injects a deterministic failure plan —
+// explicit rank crashes, link slowdowns and compute degradations, or a
+// seeded random plan — plus a scheduler retry budget and an in-run
+// degraded-mode recovery switch; the job's status then carries its full
+// attempt history:
+//
+//	"faults": {"crashes": [{"rank": 2, "at": 0.5}], "max_attempts": 3}
 package main
 
 import (
@@ -147,10 +155,24 @@ type submitRequest struct {
 	TimeoutMS int64        `json:"timeout_ms"`
 	Targets   int          `json:"targets"`
 	Classes   int          `json:"classes"`
-	Scaled    bool         `json:"scaled"` // charge full-scene work via ScaledParams
-	Label     string       `json:"label"`
-	NoCache   bool         `json:"no_cache"`
-	Scene     sceneRequest `json:"scene"`
+	Scaled    bool          `json:"scaled"` // charge full-scene work via ScaledParams
+	Label     string        `json:"label"`
+	NoCache   bool          `json:"no_cache"`
+	Scene     sceneRequest  `json:"scene"`
+	Faults    *faultRequest `json:"faults"`
+}
+
+// faultRequest injects a deterministic failure plan into the run: either
+// explicit events or a seeded random plan, plus the scheduler's retry
+// budget and an optional degraded-mode recovery switch. Fault jobs bypass
+// the result cache — chaos runs exist to exercise the failure path.
+type faultRequest struct {
+	Crashes       []hyperhet.FaultCrash    `json:"crashes"`
+	LinkSlowdowns []hyperhet.FaultLinkSlow `json:"link_slowdowns"`
+	Degradations  []hyperhet.FaultDegrade  `json:"degradations"`
+	Seed          int64                    `json:"seed"`         // nonzero: generate a random plan instead
+	MaxAttempts   int                      `json:"max_attempts"` // scheduler retry budget (0 = default)
+	Recovery      bool                     `json:"recovery"`     // in-run degraded-mode recovery on worker death
 }
 
 // sceneRequest selects the synthetic scene; zero values take the reduced
@@ -290,6 +312,32 @@ func (s *server) buildSpec(req *submitRequest) (hyperhet.JobSpec, error) {
 	if req.Scaled {
 		spec.Params = hyperhet.ScaledParams(spec.Params, cfg)
 	}
+	if req.Faults != nil {
+		plan := &hyperhet.FaultPlan{
+			Crashes:   req.Faults.Crashes,
+			LinkSlows: req.Faults.LinkSlowdowns,
+			Degrades:  req.Faults.Degradations,
+		}
+		if req.Faults.Seed != 0 {
+			if !plan.Empty() {
+				return spec, fmt.Errorf("faults: give explicit events or a seed, not both")
+			}
+			if spec.Network == nil {
+				return spec, fmt.Errorf("faults: seeded plans need a networked mode")
+			}
+			var err error
+			plan, err = hyperhet.RandomFaultPlan(req.Faults.Seed, hyperhet.RandomFaultConfig{Ranks: spec.Network.Size()})
+			if err != nil {
+				return spec, err
+			}
+		}
+		if req.Faults.MaxAttempts < 0 {
+			return spec, fmt.Errorf("faults: invalid max_attempts %d", req.Faults.MaxAttempts)
+		}
+		spec.Params.Faults = plan
+		spec.Params.Recovery = hyperhet.RecoveryOptions{Enabled: req.Faults.Recovery}
+		spec.MaxAttempts = req.Faults.MaxAttempts
+	}
 	return spec, nil
 }
 
@@ -357,6 +405,11 @@ type resultSummary struct {
 	ImbalanceDAll  float64 `json:"imbalance_d_all"`
 	Targets        int     `json:"targets,omitempty"`
 	Classes        int     `json:"classes,omitempty"`
+	// Degraded-mode recovery bookkeeping (in-run, distinct from the
+	// scheduler-level attempt history in the job status).
+	RunAttempts      int     `json:"run_attempts,omitempty"`
+	FailedRanks      []int   `json:"failed_ranks,omitempty"`
+	RecoveryOverhead float64 `json:"recovery_overhead_seconds,omitempty"`
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -381,6 +434,11 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 		if rep.Classification != nil {
 			sum.Classes = len(rep.Classification.Classes)
+		}
+		if rep.Attempts > 1 {
+			sum.RunAttempts = rep.Attempts
+			sum.FailedRanks = rep.FailedRanks
+			sum.RecoveryOverhead = rep.RecoveryOverhead
 		}
 		resp.Result = sum
 	}

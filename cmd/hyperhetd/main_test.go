@@ -110,6 +110,117 @@ func TestSubmitPollStats(t *testing.T) {
 	}
 }
 
+// waitSettled polls a job until it leaves the queued/running states.
+func waitSettled(t *testing.T, url, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never settled", id)
+		}
+		_, job := getJSON(t, url+"/jobs/"+id)
+		if st, _ := job["state"].(string); st == "completed" || st == "failed" || st == "cancelled" {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A submission with an injected rank crash fails its first attempt, is
+// retried by the scheduler, and completes — with the attempt history
+// visible in the job JSON.
+func TestChaosJobRetriesOverHTTP(t *testing.T) {
+	ts := testServer(t, hyperhet.SchedulerConfig{
+		RetryBaseDelay: time.Millisecond, RetryMaxDelay: 10 * time.Millisecond,
+	})
+	const chaos = `{
+		"algorithm": "atdca", "network": "fully-het", "targets": 4,
+		"scene": {"lines": 24, "samples": 16, "bands": 8, "seed": 3},
+		"faults": {"crashes": [{"rank": 2, "at": 0.0001, "attempt": 1}], "max_attempts": 3}
+	}`
+	resp, doc := postJSON(t, ts.URL+"/submit", chaos)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d (%v)", resp.StatusCode, doc)
+	}
+	job := waitSettled(t, ts.URL, doc["id"].(string))
+	if job["state"] != "completed" {
+		t.Fatalf("chaos job settled as %v (error %v)", job["state"], job["error"])
+	}
+	if n, _ := job["attempts"].(float64); n <= 1 {
+		t.Fatalf("attempts = %v, want > 1", job["attempts"])
+	}
+	history, ok := job["attempt_history"].([]any)
+	if !ok || len(history) != 2 {
+		t.Fatalf("attempt_history = %v, want 2 records", job["attempt_history"])
+	}
+	first := history[0].(map[string]any)
+	if msg, _ := first["error"].(string); !strings.Contains(msg, "rank 2") {
+		t.Fatalf("first attempt error = %q, want a rank-2 failure", msg)
+	}
+	if retry, _ := first["retryable"].(bool); !retry {
+		t.Fatalf("first attempt record = %v, want retryable", first)
+	}
+}
+
+// A permanent worker crash with in-run recovery enabled completes in a
+// single scheduler attempt via degraded-mode re-partitioning, and the
+// result summary reports the recovery bookkeeping.
+func TestChaosJobDegradedRecoveryOverHTTP(t *testing.T) {
+	ts := testServer(t, hyperhet.SchedulerConfig{})
+	const chaos = `{
+		"algorithm": "atdca", "network": "fully-het", "targets": 4,
+		"scene": {"lines": 24, "samples": 16, "bands": 8, "seed": 3},
+		"faults": {"crashes": [{"rank": 3, "at": 0.0001, "attempt": -1}], "recovery": true}
+	}`
+	resp, doc := postJSON(t, ts.URL+"/submit", chaos)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d (%v)", resp.StatusCode, doc)
+	}
+	job := waitSettled(t, ts.URL, doc["id"].(string))
+	if job["state"] != "completed" {
+		t.Fatalf("recovery job settled as %v (error %v)", job["state"], job["error"])
+	}
+	result, ok := job["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("completed job has no result: %v", job)
+	}
+	if n, _ := result["run_attempts"].(float64); n != 2 {
+		t.Fatalf("run_attempts = %v, want 2", result["run_attempts"])
+	}
+	ranks, _ := result["failed_ranks"].([]any)
+	if len(ranks) != 1 || ranks[0].(float64) != 3 {
+		t.Fatalf("failed_ranks = %v, want [3]", result["failed_ranks"])
+	}
+	if ov, _ := result["recovery_overhead_seconds"].(float64); ov <= 0 {
+		t.Fatalf("recovery_overhead_seconds = %v, want > 0", result["recovery_overhead_seconds"])
+	}
+	if procs, _ := result["procs"].(float64); procs != 15 {
+		t.Fatalf("degraded run used %v procs, want 15", result["procs"])
+	}
+}
+
+func TestSubmitRejectsBadFaults(t *testing.T) {
+	ts := testServer(t, hyperhet.SchedulerConfig{})
+	cases := []struct {
+		name, body string
+	}{
+		{"seed and events", `{"algorithm": "atdca", "network": "fully-het",
+			"faults": {"seed": 7, "crashes": [{"rank": 1, "at": 1}]}}`},
+		{"out-of-range rank", `{"algorithm": "atdca", "network": "fully-het",
+			"faults": {"crashes": [{"rank": 99, "at": 1}]}}`},
+		{"negative budget", `{"algorithm": "atdca", "network": "fully-het",
+			"faults": {"max_attempts": -2}}`},
+		{"seeded sequential", `{"algorithm": "atdca", "mode": "sequential",
+			"faults": {"seed": 7}}`},
+	}
+	for _, tc := range cases {
+		resp, doc := postJSON(t, ts.URL+"/submit", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%v), want 400", tc.name, resp.StatusCode, doc)
+		}
+	}
+}
+
 func TestSubmitRejectsBadRequests(t *testing.T) {
 	ts := testServer(t, hyperhet.SchedulerConfig{})
 	cases := []struct {

@@ -28,7 +28,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/mpi"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/scene"
@@ -228,6 +230,52 @@ func RunSequentialContext(ctx context.Context, cycleTime float64, alg Algorithm,
 	return core.RunSequentialContext(ctx, cycleTime, alg, f, p)
 }
 
+// Fault injection and recovery: deterministic failure plans consulted by
+// the message layer at every virtual-time charge, typed failure errors,
+// and degraded-mode recovery in the run drivers.
+type (
+	// FaultPlan is one reproducible failure scenario (crashes, link
+	// slowdowns, compute degradations) injected into a simulated run via
+	// Params.Faults. The zero value injects nothing.
+	FaultPlan = fault.Plan
+	// FaultCrash kills one rank at a virtual time.
+	FaultCrash = fault.Crash
+	// FaultLinkSlow stretches transfers on one link over a window.
+	FaultLinkSlow = fault.LinkSlow
+	// FaultDegrade slows one rank's compute over a window.
+	FaultDegrade = fault.Degrade
+	// RandomFaultConfig tunes RandomFaultPlan.
+	RandomFaultConfig = fault.RandomConfig
+	// RecoveryOptions enables degraded-mode recovery in Run/RunContext:
+	// when a worker rank dies, the master re-partitions the survivors and
+	// reruns, recording attempts and overhead in the RunReport.
+	RecoveryOptions = core.RecoveryOptions
+	// RankFailedError is the typed error for an injected rank death; match
+	// with errors.Is(err, ErrRankFailed) or errors.As.
+	RankFailedError = mpi.RankFailedError
+)
+
+// Typed failure sentinels for errors.Is triage of failed runs.
+var (
+	// ErrRankFailed matches errors from a rank killed by a fault plan.
+	ErrRankFailed = mpi.ErrRankFailed
+	// ErrCascade matches errors from ranks aborted because another rank
+	// failed first (the failure's origin carries ErrRankFailed instead).
+	ErrCascade = mpi.ErrCascade
+)
+
+// RandomFaultPlan generates a reproducible failure plan from a seed: the
+// same (seed, cfg) always yields the identical plan, which — combined
+// with deterministic virtual time — makes chaos experiments replayable.
+func RandomFaultPlan(seed int64, cfg RandomFaultConfig) (*FaultPlan, error) {
+	return fault.Random(seed, cfg)
+}
+
+// RetryableError reports whether a failed run is worth retrying: injected
+// faults and cascades are transient by construction; anything else (bad
+// specs, cancellation) is permanent.
+func RetryableError(err error) bool { return mpi.IsRetryable(err) }
+
 // Serving: the concurrent analysis-job scheduler behind cmd/hyperhetd.
 type (
 	// Scheduler multiplexes analysis jobs over a worker pool with a
@@ -249,6 +297,8 @@ type (
 	JobPriority = sched.Priority
 	// SchedulerStats is a snapshot of the scheduler's counters.
 	SchedulerStats = sched.Stats
+	// JobAttempt records one execution attempt of a retried job.
+	JobAttempt = sched.AttemptRecord
 )
 
 // Scheduling classes, job modes and lifecycle states.

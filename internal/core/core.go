@@ -9,10 +9,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/algo"
 	"repro/internal/cube"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/partition"
@@ -82,6 +84,39 @@ type Params struct {
 	// Trace, when true, records every virtual-time event of the run and
 	// renders a per-processor activity timeline into RunReport.Timeline.
 	Trace bool
+	// Faults injects a deterministic failure plan into the run (nil
+	// injects nothing); see package fault.
+	Faults *fault.Plan
+	// FaultAttempt is the 1-based execution attempt used to filter the
+	// fault plan (0 means 1). The scheduler bumps it across job retries
+	// so a crash pinned to attempt 1 spares the rerun.
+	FaultAttempt int
+	// Recovery enables degraded-mode recovery for Run/RunContext.
+	Recovery RecoveryOptions
+}
+
+// RecoveryOptions configures degraded-mode recovery: when a worker rank
+// dies (an injected fault), the master excludes it, re-partitions the
+// surviving processors with the run's strategy (WEA for the Hetero
+// variant) and reruns. The death of rank 0 — the master holding the
+// scene — is unrecoverable by design.
+type RecoveryOptions struct {
+	// Enabled turns recovery on.
+	Enabled bool
+	// MaxAttempts bounds the total executions, first run included
+	// (0 means 3).
+	MaxAttempts int
+}
+
+// attempts returns the total execution budget.
+func (r RecoveryOptions) attempts() int {
+	if !r.Enabled {
+		return 1
+	}
+	if r.MaxAttempts <= 0 {
+		return 3
+	}
+	return r.MaxAttempts
 }
 
 // DefaultParams returns the paper's parameter choices.
@@ -136,6 +171,18 @@ type RunReport struct {
 	// Timeline is a per-processor activity chart of the run, rendered
 	// when Params.Trace was set (empty otherwise).
 	Timeline string
+
+	// Attempts counts the executions behind this report: 1 for a clean
+	// run, more when degraded-mode recovery rescued the job.
+	Attempts int
+	// FailedRanks lists the processors (rank numbers of the originally
+	// submitted network) that died and were excluded by recovery, in
+	// failure order.
+	FailedRanks []int
+	// RecoveryOverhead is the virtual time in seconds consumed by failed
+	// attempts — each one charged up to the instant its rank died. It is
+	// not included in WallTime, which times the successful attempt only.
+	RecoveryOverhead float64
 }
 
 // Run executes one algorithm variant on the given network against the
@@ -165,18 +212,6 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 	strat, err := variant.Strategy()
 	if err != nil {
 		return nil, err
-	}
-	world := mpi.NewWorld(net)
-	world.SetContext(ctx)
-	if params.WorkScale > 0 {
-		world.SetComputeScale(params.WorkScale)
-	}
-	if params.DataScale > 0 {
-		world.SetDataScale(params.DataScale)
-	}
-	var trace *mpi.Trace
-	if params.Trace {
-		trace = world.EnableTrace()
 	}
 	program := func(c *mpi.Comm) any {
 		var data *cube.Cube
@@ -212,40 +247,99 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 			panic(fmt.Sprintf("core: unknown algorithm %q", alg))
 		}
 	}
-	res, err := world.Run(program)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s/%s on %s: %w", alg, variant, net.Name, err)
+
+	// The recovery loop: run, and when a worker rank dies with recovery
+	// enabled, exclude it, re-partition the survivors (the strategy runs
+	// WEA over the reduced processor list) and try again on the degraded
+	// platform. The first attempt number follows Params.FaultAttempt so
+	// the scheduler's own retries keep a single attempt axis.
+	attempt := params.FaultAttempt
+	if attempt < 1 {
+		attempt = 1
 	}
-	report := &RunReport{
-		Algorithm: alg,
-		Variant:   variant,
-		Network:   net.Name,
-		Procs:     net.Size(),
-		WallTime:  res.WallTime(),
-		ProcTimes: res.ProcTimes(),
-		BusyTimes: res.BusyTimes(),
+	budget := params.Recovery.attempts()
+	curNet := net
+	plan := params.Faults
+	// alive maps the current network's ranks back to the submitted
+	// network's rank numbers, for reporting.
+	alive := make([]int, net.Size())
+	for i := range alive {
+		alive[i] = i
 	}
-	report.Com, report.Seq, report.Par = res.RootBreakdown()
-	if net.Size() >= 2 {
-		report.DAll, report.DMinus, err = metrics.Imbalance(report.BusyTimes)
-		if err != nil {
-			return nil, fmt.Errorf("core: imbalance: %w", err)
+	var failedRanks []int
+	var overhead float64
+	for used := 1; ; used++ {
+		world := mpi.NewWorld(curNet)
+		world.SetContext(ctx)
+		if params.WorkScale > 0 {
+			world.SetComputeScale(params.WorkScale)
 		}
-	} else {
-		report.DAll, report.DMinus = 1, 1
+		if params.DataScale > 0 {
+			world.SetDataScale(params.DataScale)
+		}
+		if err := world.SetFaults(plan, attempt); err != nil {
+			return nil, fmt.Errorf("core: %s/%s on %s: %w", alg, variant, net.Name, err)
+		}
+		var trace *mpi.Trace
+		if params.Trace {
+			trace = world.EnableTrace()
+		}
+
+		res, err := world.Run(program)
+		if err != nil {
+			var rf *mpi.RankFailedError
+			recoverable := params.Recovery.Enabled && errors.As(err, &rf) &&
+				rf.Rank != 0 && used < budget && curNet.Size() > 1
+			if !recoverable {
+				return nil, fmt.Errorf("core: %s/%s on %s: %w", alg, variant, net.Name, err)
+			}
+			overhead += rf.VTime
+			failedRanks = append(failedRanks, alive[rf.Rank])
+			degraded, derr := curNet.Without(rf.Rank)
+			if derr != nil {
+				return nil, fmt.Errorf("core: %s/%s on %s: degrading after %v: %w", alg, variant, net.Name, err, derr)
+			}
+			alive = append(alive[:rf.Rank], alive[rf.Rank+1:]...)
+			curNet = degraded
+			plan = plan.Without(rf.Rank)
+			attempt++
+			continue
+		}
+
+		report := &RunReport{
+			Algorithm:        alg,
+			Variant:          variant,
+			Network:          curNet.Name,
+			Procs:            curNet.Size(),
+			WallTime:         res.WallTime(),
+			ProcTimes:        res.ProcTimes(),
+			BusyTimes:        res.BusyTimes(),
+			Attempts:         used,
+			FailedRanks:      failedRanks,
+			RecoveryOverhead: overhead,
+		}
+		report.Com, report.Seq, report.Par = res.RootBreakdown()
+		if curNet.Size() >= 2 {
+			report.DAll, report.DMinus, err = metrics.Imbalance(report.BusyTimes)
+			if err != nil {
+				return nil, fmt.Errorf("core: imbalance: %w", err)
+			}
+		} else {
+			report.DAll, report.DMinus = 1, 1
+		}
+		switch v := res.Root().(type) {
+		case *algo.DetectionResult:
+			report.Detection = v
+		case *algo.ClassificationResult:
+			report.Classification = v
+		default:
+			return nil, fmt.Errorf("core: unexpected result type %T", v)
+		}
+		if trace != nil {
+			report.Timeline = trace.Timeline(curNet.Size(), 100)
+		}
+		return report, nil
 	}
-	switch v := res.Root().(type) {
-	case *algo.DetectionResult:
-		report.Detection = v
-	case *algo.ClassificationResult:
-		report.Classification = v
-	default:
-		return nil, fmt.Errorf("core: unexpected result type %T", v)
-	}
-	if trace != nil {
-		report.Timeline = trace.Timeline(net.Size(), 100)
-	}
-	return report, nil
 }
 
 // AdaptiveReport couples a RunReport with the rebalancer's convergence
@@ -286,6 +380,13 @@ func RunAdaptiveContext(ctx context.Context, net *platform.Network, f *cube.Cube
 	if params.DataScale > 0 {
 		world.SetDataScale(params.DataScale)
 	}
+	// Adaptive runs accept fault injection (the rebalancer is exactly what
+	// degradation windows are meant to stress) but not degraded-mode
+	// recovery, which is a static-partitioning concept; retries are the
+	// scheduler's job here.
+	if err := world.SetFaults(params.Faults, max(params.FaultAttempt, 1)); err != nil {
+		return nil, fmt.Errorf("core: adaptive ATDCA on %s: %w", net.Name, err)
+	}
 	type pair struct {
 		det   *algo.DetectionResult
 		trace *algo.AdaptiveTrace
@@ -307,6 +408,7 @@ func RunAdaptiveContext(ctx context.Context, net *platform.Network, f *cube.Cube
 	}
 	root := res.Root().(pair)
 	report := &AdaptiveReport{Trace: root.trace}
+	report.Attempts = 1
 	report.Algorithm = ATDCA
 	report.Variant = "Adaptive"
 	report.Network = net.Name

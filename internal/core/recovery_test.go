@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mpi"
+)
+
+// A worker crash without recovery fails the run with a typed rank
+// failure; with recovery enabled the same plan completes in a degraded
+// configuration, recording the attempt count, the lost rank and the
+// virtual time burned by the failed attempt.
+func TestRecoveryDegradedRerun(t *testing.T) {
+	sc := smallScene(t)
+	net := smallNet(t, 4)
+	params := smallParams()
+	params.Faults = &fault.Plan{Crashes: []fault.Crash{{Rank: 2, At: 0.001, Attempt: -1}}}
+
+	_, err := Run(net, ATDCA, Hetero, sc.Cube, params)
+	if !errors.Is(err, mpi.ErrRankFailed) {
+		t.Fatalf("without recovery: error = %v, want rank failure", err)
+	}
+
+	params.Recovery = RecoveryOptions{Enabled: true}
+	rep, err := Run(net, ATDCA, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatalf("with recovery: %v", err)
+	}
+	if rep.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", rep.Attempts)
+	}
+	if len(rep.FailedRanks) != 1 || rep.FailedRanks[0] != 2 {
+		t.Fatalf("failed ranks = %v, want [2]", rep.FailedRanks)
+	}
+	if rep.Procs != 3 {
+		t.Fatalf("degraded run used %d procs, want 3", rep.Procs)
+	}
+	if rep.Network != "small-degraded" {
+		t.Fatalf("degraded network name = %q", rep.Network)
+	}
+	if rep.RecoveryOverhead <= 0 {
+		t.Fatalf("recovery overhead = %v, want > 0", rep.RecoveryOverhead)
+	}
+	if rep.WallTime <= 0 || rep.Detection == nil || len(rep.Detection.Targets) == 0 {
+		t.Fatalf("degraded run produced an invalid report: %+v", rep)
+	}
+	if len(rep.ProcTimes) != 3 || len(rep.BusyTimes) != 3 {
+		t.Fatalf("per-processor series sized %d/%d, want 3", len(rep.ProcTimes), len(rep.BusyTimes))
+	}
+
+	// Determinism: the whole recovery sequence replays identically.
+	rep2, err := Run(net, ATDCA, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.WallTime != rep.WallTime || rep2.RecoveryOverhead != rep.RecoveryOverhead || rep2.Attempts != rep.Attempts {
+		t.Fatalf("recovery replay diverged: %+v vs %+v", rep2, rep)
+	}
+}
+
+// Two permanent worker crashes consume two recovery attempts; the run
+// completes on the remaining processors with both losses recorded against
+// the original rank numbering.
+func TestRecoveryMultipleFailures(t *testing.T) {
+	sc := smallScene(t)
+	net := smallNet(t, 5)
+	params := smallParams()
+	params.Faults = &fault.Plan{Crashes: []fault.Crash{
+		{Rank: 1, At: 0.001, Attempt: -1},
+		{Rank: 3, At: 0.002, Attempt: -1},
+	}}
+	params.Recovery = RecoveryOptions{Enabled: true, MaxAttempts: 3}
+	rep, err := Run(net, PCT, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 3 || rep.Procs != 3 {
+		t.Fatalf("attempts = %d, procs = %d; want 3 and 3", rep.Attempts, rep.Procs)
+	}
+	// Rank 1 dies first; rank 3 of the original network is rank 2 of the
+	// degraded one, and must be reported under its original number.
+	if len(rep.FailedRanks) != 2 || rep.FailedRanks[0] != 1 || rep.FailedRanks[1] != 3 {
+		t.Fatalf("failed ranks = %v, want [1 3]", rep.FailedRanks)
+	}
+	if rep.Classification == nil {
+		t.Fatal("degraded run produced no classification")
+	}
+}
+
+// The attempt budget is a hard cap: a crash that outlives it fails the
+// run with the typed error intact.
+func TestRecoveryBudgetExhausted(t *testing.T) {
+	sc := smallScene(t)
+	net := smallNet(t, 4)
+	params := smallParams()
+	params.Faults = &fault.Plan{Crashes: []fault.Crash{
+		{Rank: 1, At: 0.001, Attempt: -1},
+		{Rank: 2, At: 0.001, Attempt: -1},
+	}}
+	params.Recovery = RecoveryOptions{Enabled: true, MaxAttempts: 2}
+	_, err := Run(net, ATDCA, Hetero, sc.Cube, params)
+	if !errors.Is(err, mpi.ErrRankFailed) {
+		t.Fatalf("error = %v, want rank failure after budget exhaustion", err)
+	}
+}
+
+// The master holds the scene: its death is unrecoverable regardless of
+// the attempt budget.
+func TestRecoveryMasterDeathUnrecoverable(t *testing.T) {
+	sc := smallScene(t)
+	net := smallNet(t, 3)
+	params := smallParams()
+	params.Faults = &fault.Plan{Crashes: []fault.Crash{{Rank: 0, At: 0.001}}}
+	params.Recovery = RecoveryOptions{Enabled: true, MaxAttempts: 5}
+	_, err := Run(net, ATDCA, Hetero, sc.Cube, params)
+	if !errors.Is(err, mpi.ErrRankFailed) {
+		t.Fatalf("error = %v, want unrecoverable rank failure", err)
+	}
+	var rf *mpi.RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 0 {
+		t.Fatalf("error = %v, want rank 0 failure", err)
+	}
+}
+
+// A clean run reports exactly one attempt and no recovery bookkeeping.
+func TestCleanRunAttempts(t *testing.T) {
+	sc := smallScene(t)
+	rep, err := Run(smallNet(t, 3), ATDCA, Hetero, sc.Cube, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 1 || len(rep.FailedRanks) != 0 || rep.RecoveryOverhead != 0 {
+		t.Fatalf("clean run bookkeeping = attempts %d, failed %v, overhead %v",
+			rep.Attempts, rep.FailedRanks, rep.RecoveryOverhead)
+	}
+}

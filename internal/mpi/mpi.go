@@ -33,9 +33,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/platform"
 	"repro/internal/vtime"
 )
@@ -69,6 +69,8 @@ type World struct {
 	computeScale float64
 	dataScale    float64
 	trace        *Trace
+	faults       *fault.Plan
+	attempt      int // 1-based execution attempt for fault-plan filtering
 }
 
 // NewWorld creates a world over the given network.
@@ -126,6 +128,24 @@ func (w *World) fail() {
 	w.failOnce.Do(func() { close(w.failed) })
 }
 
+// SetFaults attaches a fault-injection plan (see package fault) to the
+// world, filtered to the given 1-based execution attempt (values < 1 mean
+// attempt 1). Every Send, Recv, Compute and Elapse charge consults the
+// plan: a crash event kills its rank with a RankFailedError the moment the
+// rank's virtual clock reaches the event's time, link-slowdown windows
+// multiply transfer costs, and degradation windows multiply compute and
+// elapse costs. A nil plan clears injection. Must be called before Run.
+func (w *World) SetFaults(plan *fault.Plan, attempt int) error {
+	if err := plan.Validate(w.Size()); err != nil {
+		return err
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	w.faults, w.attempt = plan, attempt
+	return nil
+}
+
 // SetContext attaches a cancellation context to the world. Once the
 // context is done, every rank aborts at its next communication or
 // computation charge (and ranks blocked in Recv unblock immediately), and
@@ -173,6 +193,28 @@ type Comm struct {
 	world *World
 	rank  int
 	clock *vtime.Clock
+
+	// crashAt is the virtual time at which an injected fault kills this
+	// rank; meaningful only when hasCrash is set.
+	crashAt  float64
+	hasCrash bool
+}
+
+// checkFailed panics with a RankFailedError once the rank's virtual clock
+// has reached its injected crash time. Called at the start of every
+// charge and again after the clock advances, so a rank dies within one
+// charge of its scheduled failure — deterministically, because virtual
+// clocks are independent of host scheduling.
+func (c *Comm) checkFailed() {
+	if c.hasCrash && c.clock.Now() >= c.crashAt {
+		panic(&RankFailedError{Rank: c.rank, VTime: c.crashAt})
+	}
+}
+
+// computeFactor returns the active fault-plan degradation multiplier for
+// a compute or elapse charge starting now on this rank.
+func (c *Comm) computeFactor() float64 {
+	return c.world.faults.ComputeFactor(c.world.attempt, c.rank, c.clock.Now())
 }
 
 // Rank returns this processor's rank; rank 0 is the master.
@@ -198,10 +240,7 @@ func (c *Comm) World() *World { return c.world }
 // compute scale. Use it for work that grows with the scene (per-pixel
 // loops); use ComputeFixed for problem-size-independent steps.
 func (c *Comm) Compute(flops float64, cat vtime.Category) {
-	c.world.checkAborted()
-	start := c.clock.Now()
-	c.clock.Compute(flops*c.world.computeScale, cat)
-	c.world.trace.add(Event{Rank: c.rank, Kind: EventCompute, Peer: -1, Start: start, Dur: c.clock.Now() - start, Cat: cat})
+	c.chargeCompute(flops*c.world.computeScale, cat)
 }
 
 // ComputeFixed charges flops without the world's compute scale, for work
@@ -209,9 +248,17 @@ func (c *Comm) Compute(flops float64, cat vtime.Category) {
 // Gram builds, candidate re-scoring at the master, set merges, and the
 // eigendecomposition.
 func (c *Comm) ComputeFixed(flops float64, cat vtime.Category) {
+	c.chargeCompute(flops, cat)
+}
+
+// chargeCompute advances the clock by the (possibly degraded) cost of the
+// flops, checks cancellation and injected crashes, and traces the charge.
+func (c *Comm) chargeCompute(flops float64, cat vtime.Category) {
 	c.world.checkAborted()
+	c.checkFailed()
 	start := c.clock.Now()
-	c.clock.Compute(flops, cat)
+	c.clock.ComputeDegraded(flops, c.computeFactor(), cat)
+	c.checkFailed()
 	c.world.trace.add(Event{Rank: c.rank, Kind: EventCompute, Peer: -1, Start: start, Dur: c.clock.Now() - start, Cat: cat})
 }
 
@@ -220,8 +267,17 @@ func (c *Comm) ComputeFixed(flops float64, cat vtime.Category) {
 func (c *Comm) DataScale() float64 { return c.world.dataScale }
 
 // Elapse charges d seconds of non-flop local work (e.g. disk access) to
-// the given category.
-func (c *Comm) Elapse(d float64, cat vtime.Category) { c.clock.Add(d, cat) }
+// the given category. Like Compute it honours cancellation, injected
+// faults (crashes and degradation windows) and the trace, so cancelled
+// runs stop within one charge and timelines account for non-flop work.
+func (c *Comm) Elapse(d float64, cat vtime.Category) {
+	c.world.checkAborted()
+	c.checkFailed()
+	start := c.clock.Now()
+	c.clock.Add(d*c.computeFactor(), cat)
+	c.checkFailed()
+	c.world.trace.add(Event{Rank: c.rank, Kind: EventElapse, Peer: -1, Start: start, Dur: c.clock.Now() - start, Cat: cat})
+}
 
 // Send transfers payload (of the given serialized size in bytes) to rank
 // dst with the given tag. The virtual transfer cost is charged to this
@@ -238,9 +294,12 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("mpi: negative message size %d", bytes))
 	}
+	c.checkFailed()
 	ready := c.clock.Now()
-	cost := c.world.net.TransferTime(bytes, c.rank, dst)
+	cost := c.world.net.TransferTime(bytes, c.rank, dst) *
+		c.world.faults.LinkFactor(c.world.attempt, c.rank, dst, ready)
 	c.clock.Add(cost, vtime.Com)
+	c.checkFailed()
 	c.world.trace.add(Event{Rank: c.rank, Kind: EventSend, Tag: tag, Peer: dst, Bytes: bytes, Start: ready, Dur: cost, Cat: vtime.Com})
 	m := message{tag: tag, payload: payload, bytes: bytes, ready: ready, arrival: ready + cost}
 	select {
@@ -258,6 +317,7 @@ func (c *Comm) Recv(src, tag int) any {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d (world size %d)", src, c.Size()))
 	}
 	c.world.checkAborted()
+	c.checkFailed()
 	box := c.world.box(src, c.rank)
 	var m message
 	select {
@@ -269,7 +329,7 @@ func (c *Comm) Recv(src, tag int) any {
 		select {
 		case m = <-box:
 		default:
-			panic("mpi: run aborted because another rank failed")
+			panic(cascadeAbort{})
 		}
 	}
 	if m.tag != tag {
@@ -278,6 +338,7 @@ func (c *Comm) Recv(src, tag int) any {
 	start := c.clock.Now()
 	c.clock.AdvanceTo(m.ready, vtime.Idle)  // waiting for the peer to produce the data
 	c.clock.AdvanceTo(m.arrival, vtime.Com) // the transfer itself
+	c.checkFailed()
 	c.world.trace.add(Event{Rank: c.rank, Kind: EventRecv, Tag: m.tag, Peer: src, Bytes: m.bytes, Start: start, Dur: c.clock.Now() - start, Cat: vtime.Com})
 	return m.payload
 }
@@ -354,17 +415,19 @@ func (c *Comm) Barrier(tag int) {
 	c.Bcast(0, tag, nil, 0)
 }
 
-// ReduceFloat64 combines one float64 per rank at root with op (called in
-// rank order, seeded with the root's own value first when root==0).
-// Non-root ranks return 0.
+// ReduceFloat64 combines one float64 per rank at root: the fold is seeded
+// with the root's own value, then op is applied over the remaining ranks
+// in increasing rank order. Non-root ranks return 0.
 func (c *Comm) ReduceFloat64(root, tag int, value float64, op func(a, b float64) float64) float64 {
 	vals := GatherAs(c, root, tag, value, 8)
 	if vals == nil {
 		return 0
 	}
-	acc := vals[0]
-	for _, v := range vals[1:] {
-		acc = op(acc, v)
+	acc := vals[root]
+	for r, v := range vals {
+		if r != root {
+			acc = op(acc, v)
+		}
 	}
 	return acc
 }
@@ -448,11 +511,17 @@ func (w *World) Run(program Program) (result *RunResult, err error) {
 		go func(rank int) {
 			defer wg.Done()
 			c := &Comm{world: w, rank: rank, clock: vtime.NewClock(w.net.Procs[rank].CycleTime)}
+			c.crashAt, c.hasCrash = w.faults.CrashTime(w.attempt, rank)
 			defer func() {
 				if r := recover(); r != nil {
-					if a, ok := r.(abortError); ok {
-						errs[rank] = fmt.Errorf("mpi: rank %d: run cancelled: %w", rank, a.err)
-					} else {
+					switch v := r.(type) {
+					case abortError:
+						errs[rank] = fmt.Errorf("mpi: rank %d: run cancelled: %w", rank, v.err)
+					case *RankFailedError:
+						errs[rank] = v
+					case cascadeAbort:
+						errs[rank] = &CascadeError{Rank: rank}
+					default:
 						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
 					}
 					w.fail()
@@ -463,10 +532,10 @@ func (w *World) Run(program Program) (result *RunResult, err error) {
 		}(rank)
 	}
 	wg.Wait()
-	// Prefer the originating failure over the "aborted because another
-	// rank failed" cascade it triggers on the surviving ranks, and a
-	// genuine program failure over the context-cancellation panics that
-	// may race with it on other ranks.
+	// Prefer the originating failure over the cascade it triggers on the
+	// surviving ranks, and a genuine program failure over the
+	// context-cancellation panics that may race with it on other ranks:
+	// origin > cancellation > cascade.
 	var first, cancelled, cascade error
 	for _, e := range errs {
 		switch {
@@ -475,7 +544,7 @@ func (w *World) Run(program Program) (result *RunResult, err error) {
 			if cancelled == nil {
 				cancelled = e
 			}
-		case strings.Contains(e.Error(), "another rank failed"):
+		case errors.Is(e, ErrCascade):
 			if cascade == nil {
 				cascade = e
 			}

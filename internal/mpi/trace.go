@@ -20,6 +20,8 @@ const (
 	EventRecv
 	// EventCompute is a computation charge.
 	EventCompute
+	// EventElapse is a non-flop local-work charge (e.g. disk access).
+	EventElapse
 )
 
 // String returns a short label.
@@ -31,6 +33,8 @@ func (k EventKind) String() string {
 		return "recv"
 	case EventCompute:
 		return "compute"
+	case EventElapse:
+		return "elapse"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -138,7 +142,7 @@ func (t *Trace) Timeline(ranks int, width int) string {
 	}
 	for _, e := range events {
 		switch e.Kind {
-		case EventCompute:
+		case EventCompute, EventElapse:
 			mark(e.Rank, e.Start, e.Dur, '#')
 		default:
 			mark(e.Rank, e.Start, e.Dur, '~')
@@ -161,8 +165,8 @@ func (t *Trace) Timeline(ranks int, width int) string {
 
 // Summary aggregates the trace: per-rank event counts and bytes.
 type Summary struct {
-	Sends, Recvs, Computes int
-	BytesSent              int
+	Sends, Recvs, Computes, Elapses int
+	BytesSent                       int
 }
 
 // Summarize returns per-rank totals.
@@ -181,6 +185,8 @@ func (t *Trace) Summarize(ranks int) []Summary {
 			s.Recvs++
 		case EventCompute:
 			s.Computes++
+		case EventElapse:
+			s.Elapses++
 		}
 	}
 	return out

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Processor describes one computing resource, following Table 1.
@@ -101,6 +102,44 @@ func New(name string, procs []Processor, linkMS [][]float64, latencySec float64)
 
 // Size returns the number of processors P.
 func (n *Network) Size() int { return len(n.Procs) }
+
+// Without returns a copy of the network with processor rank removed:
+// the degraded platform a run falls back to after that processor dies.
+// Higher ranks shift down by one; links between the survivors are
+// unchanged. The name gains a "-degraded" suffix (once).
+func (n *Network) Without(rank int) (*Network, error) {
+	p := n.Size()
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("%w: cannot remove rank %d from a %d-processor network", ErrBadNetwork, rank, p)
+	}
+	if p == 1 {
+		return nil, fmt.Errorf("%w: cannot remove the last processor", ErrBadNetwork)
+	}
+	procs := make([]Processor, 0, p-1)
+	for i, proc := range n.Procs {
+		if i != rank {
+			procs = append(procs, proc)
+		}
+	}
+	links := make([][]float64, 0, p-1)
+	for i := 0; i < p; i++ {
+		if i == rank {
+			continue
+		}
+		row := make([]float64, 0, p-1)
+		for j := 0; j < p; j++ {
+			if j != rank {
+				row = append(row, n.linkMS[i][j])
+			}
+		}
+		links = append(links, row)
+	}
+	name := n.Name
+	if !strings.HasSuffix(name, "-degraded") {
+		name += "-degraded"
+	}
+	return New(name, procs, links, n.LatencySec)
+}
 
 // LinkMS returns the Table 2 capacity (milliseconds per megabit) of the
 // link between processors i and j.

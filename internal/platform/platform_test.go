@@ -341,3 +341,47 @@ func TestQuickUMDLinkMatrixWellFormed(t *testing.T) {
 		}
 	}
 }
+
+// Without drops one processor, shifts higher ranks down, preserves the
+// surviving links, and refuses out-of-range or last-processor removals.
+func TestWithout(t *testing.T) {
+	n := FullyHeterogeneous()
+	d, err := n.Without(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != n.Size()-1 {
+		t.Fatalf("degraded size = %d, want %d", d.Size(), n.Size()-1)
+	}
+	if !strings.HasSuffix(d.Name, "-degraded") {
+		t.Fatalf("degraded name = %q", d.Name)
+	}
+	// Rank 4 of the original is rank 3 of the degraded network.
+	if d.Procs[3].ID != n.Procs[4].ID {
+		t.Fatalf("rank 3 after removal has ID %d, want %d", d.Procs[3].ID, n.Procs[4].ID)
+	}
+	if got, want := d.LinkMS(0, 3), n.LinkMS(0, 4); got != want {
+		t.Fatalf("surviving link = %v, want %v", got, want)
+	}
+	// Removing again only appends one -degraded suffix.
+	dd, err := d.Without(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(dd.Name, "-degraded") != 1 {
+		t.Fatalf("name accumulated suffixes: %q", dd.Name)
+	}
+	if _, err := n.Without(-1); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+	if _, err := n.Without(n.Size()); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	single, err := New("one", []Processor{{ID: 1, CycleTime: 0.01, MemoryMB: 64}}, [][]float64{{0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.Without(0); err == nil {
+		t.Fatal("removed the last processor")
+	}
+}

@@ -51,9 +51,11 @@ func networkFingerprint(net *platform.Network) string {
 
 // cacheKey builds the result-cache key of a spec: (scene digest,
 // algorithm, variant, mode, params, platform). An empty key disables
-// caching for the job.
+// caching for the job. Jobs with a fault plan never cache: chaos runs
+// exist to exercise the failure path, and serving a memoized report
+// would skip it (their attempt history would also be a lie).
 func (spec *JobSpec) cacheKey() string {
-	if spec.NoCache {
+	if spec.NoCache || !spec.Params.Faults.Empty() {
 		return ""
 	}
 	digest := spec.CubeDigest

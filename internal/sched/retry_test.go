@@ -1,0 +1,252 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+)
+
+// retryNet builds a small heterogeneous network for fault jobs.
+func retryNet(t testing.TB, p int) *platform.Network {
+	t.Helper()
+	procs := make([]platform.Processor, p)
+	links := make([][]float64, p)
+	for i := range procs {
+		procs[i] = platform.Processor{ID: i + 1, CycleTime: 0.005 * float64(1+i%2), MemoryMB: 2048}
+		links[i] = make([]float64, p)
+		for j := range links[i] {
+			if i != j {
+				links[i][j] = 15
+			}
+		}
+	}
+	net, err := platform.New("retry-net", procs, links, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// faultSpec is a ModeRun job whose rank 2 dies on the given attempts.
+func faultSpec(t testing.TB, crashAttempt, maxAttempts int) JobSpec {
+	tiny, _ := testScenes(t)
+	return JobSpec{
+		Mode:        ModeRun,
+		Algorithm:   core.ATDCA,
+		Network:     retryNet(t, 4),
+		Cube:        tiny.Cube,
+		CubeDigest:  CubeDigest(tiny.Cube),
+		MaxAttempts: maxAttempts,
+		Params: core.Params{
+			Targets: 4,
+			Faults:  &fault.Plan{Crashes: []fault.Crash{{Rank: 2, At: 0.0001, Attempt: crashAttempt}}},
+		},
+	}
+}
+
+// A transient crash on attempt 1 is retried and the job completes, with
+// the full attempt history recorded and the retry counted in the stats.
+func TestRetryTransientFault(t *testing.T) {
+	s := New(Config{Workers: 1, RetryBaseDelay: time.Millisecond, RetryMaxDelay: 10 * time.Millisecond})
+	defer s.Close()
+	j, err := s.Submit(context.Background(), faultSpec(t, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.State(); st != StateCompleted {
+		t.Fatalf("job settled as %s (err %v), want completed", st, j.Err())
+	}
+	attempts := j.Attempts()
+	if len(attempts) != 2 {
+		t.Fatalf("attempt history = %+v, want 2 records", attempts)
+	}
+	if !attempts[0].Retryable || attempts[0].Error == "" || attempts[0].BackoffMS < 0 {
+		t.Fatalf("first attempt record = %+v, want a retryable failure", attempts[0])
+	}
+	if attempts[1].Error != "" || attempts[1].VirtualSeconds <= 0 {
+		t.Fatalf("second attempt record = %+v, want a clean success", attempts[1])
+	}
+	status := j.Status()
+	if status.Attempts != 2 || len(status.AttemptHistory) != 2 {
+		t.Fatalf("status attempts = %d (%d records), want 2", status.Attempts, len(status.AttemptHistory))
+	}
+	if stats := s.Stats(); stats.Retries != 1 || stats.Completed != 1 {
+		t.Fatalf("stats = %+v, want 1 retry and 1 completion", stats)
+	}
+}
+
+// A permanent crash (every attempt) exhausts the budget and fails with
+// the typed rank-failure error; the history shows every attempt.
+func TestRetryBudgetExhausted(t *testing.T) {
+	s := New(Config{Workers: 1, RetryBaseDelay: time.Millisecond, RetryMaxDelay: 5 * time.Millisecond})
+	defer s.Close()
+	j, err := s.Submit(context.Background(), faultSpec(t, -1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.State(); st != StateFailed {
+		t.Fatalf("job settled as %s, want failed", st)
+	}
+	if !errors.Is(j.Err(), mpi.ErrRankFailed) {
+		t.Fatalf("job error = %v, want rank failure", j.Err())
+	}
+	if got := j.Attempts(); len(got) != 3 {
+		t.Fatalf("attempt history has %d records, want 3", len(got))
+	}
+	if stats := s.Stats(); stats.Retries != 2 || stats.Failed != 1 {
+		t.Fatalf("stats = %+v, want 2 retries and 1 failure", stats)
+	}
+}
+
+// Permanent failure classes are not retried: a cancelled job consumes
+// exactly one attempt even with a generous budget.
+func TestNoRetryOnCancellation(t *testing.T) {
+	_, big := testScenes(t)
+	s := New(Config{Workers: 1, CacheEntries: -1})
+	defer s.Close()
+	spec := JobSpec{
+		Mode:        ModeRun,
+		Algorithm:   core.MORPH,
+		Network:     retryNet(t, 4),
+		Cube:        big.Cube,
+		MaxAttempts: 5,
+	}
+	release := setGate(s)
+	spec.Label = "blocker"
+	j, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	release()
+	j.Cancel()
+	if _, err := s.Wait(context.Background(), j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.State(); st != StateCancelled {
+		t.Fatalf("job settled as %s, want cancelled", st)
+	}
+	if got := j.Attempts(); len(got) > 1 {
+		t.Fatalf("cancelled job consumed %d attempts, want at most 1", len(got))
+	}
+	if stats := s.Stats(); stats.Retries != 0 {
+		t.Fatalf("cancellation triggered %d retries", stats.Retries)
+	}
+}
+
+// Validation rejects malformed retry and fault specs up front.
+func TestFaultSpecValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	bad := faultSpec(t, 1, 3)
+	bad.MaxAttempts = -1
+	if _, err := s.Submit(context.Background(), bad); err == nil {
+		t.Fatal("negative MaxAttempts accepted")
+	}
+	bad = faultSpec(t, 1, 3)
+	bad.Params.Faults = &fault.Plan{Crashes: []fault.Crash{{Rank: 99, At: 1}}}
+	if _, err := s.Submit(context.Background(), bad); err == nil {
+		t.Fatal("out-of-range fault rank accepted")
+	}
+}
+
+// Fault-plan jobs bypass the result cache in both directions: they are
+// neither stored nor served from it.
+func TestFaultJobsBypassCache(t *testing.T) {
+	s := New(Config{Workers: 1, RetryBaseDelay: time.Millisecond})
+	defer s.Close()
+	for i := 0; i < 2; i++ {
+		j, err := s.Submit(context.Background(), faultSpec(t, 1, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), j.ID()); err != nil {
+			t.Fatal(err)
+		}
+		if j.FromCache() {
+			t.Fatalf("submission %d was served from cache", i)
+		}
+		if len(j.Attempts()) != 2 {
+			t.Fatalf("submission %d recorded %d attempts, want 2 (no cache shortcut)", i, len(j.Attempts()))
+		}
+	}
+	if stats := s.Stats(); stats.CacheEntries != 0 || stats.CacheHits != 0 {
+		t.Fatalf("fault job touched the cache: %+v", stats)
+	}
+}
+
+// Backoff is capped exponential: each computed delay lands in
+// [d/2, d] for d = min(base<<n, max).
+func TestBackoffBounds(t *testing.T) {
+	s := New(Config{Workers: 1, RetryBaseDelay: 100 * time.Millisecond, RetryMaxDelay: 400 * time.Millisecond})
+	defer s.Close()
+	for attempt, wantMax := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+		4: 400 * time.Millisecond, // capped
+		9: 400 * time.Millisecond,
+	} {
+		for i := 0; i < 20; i++ {
+			d := s.backoff(attempt)
+			if d < wantMax/2 || d > wantMax {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v]", attempt, d, wantMax/2, wantMax)
+			}
+		}
+	}
+}
+
+// Mid-run rank death under concurrent load: many fault jobs and clean
+// jobs interleave across workers while statuses are polled — the -race
+// CI run patrols the failure path for data races.
+func TestConcurrentRankDeathRace(t *testing.T) {
+	s := New(Config{Workers: 4, RetryBaseDelay: time.Millisecond, RetryMaxDelay: 4 * time.Millisecond})
+	defer s.Close()
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		var spec JobSpec
+		if i%2 == 0 {
+			spec = faultSpec(t, 1, 3)
+		} else {
+			spec = tinySpec(t)
+		}
+		j, err := s.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	poll := make(chan struct{})
+	go func() {
+		defer close(poll)
+		for i := 0; i < 200; i++ {
+			for _, j := range jobs {
+				j.Status()
+				j.Attempts()
+			}
+			s.Stats()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for _, j := range jobs {
+		if _, err := s.Wait(context.Background(), j.ID()); err != nil {
+			t.Fatal(err)
+		}
+		if st := j.State(); st != StateCompleted {
+			t.Fatalf("job %s settled as %s (err %v)", j.ID(), st, j.Err())
+		}
+	}
+	<-poll
+}

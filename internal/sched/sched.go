@@ -23,12 +23,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/cube"
+	"repro/internal/mpi"
 	"repro/internal/platform"
 )
 
@@ -144,7 +146,19 @@ type JobSpec struct {
 	Label string
 	// NoCache bypasses the result cache for this job.
 	NoCache bool
+	// MaxAttempts bounds the scheduler-level execution attempts of the
+	// job, first run included (0 and 1 both mean a single attempt). A
+	// failed attempt is retried — after capped exponential backoff with
+	// jitter — only when its error is retryable: a rank death (injected
+	// fault, see Params.Faults) or the cascade it triggered. Cancellation,
+	// deadline expiry and malformed runs are permanent. Degraded-mode
+	// recovery inside one attempt is separate: see core.RecoveryOptions.
+	MaxAttempts int
 }
+
+// Retryable reports whether a job error is transient — a failure class a
+// full re-run may survive. It mirrors mpi.IsRetryable.
+func Retryable(err error) bool { return mpi.IsRetryable(err) }
 
 // validate normalizes defaults and rejects malformed specs.
 func (spec *JobSpec) validate() error {
@@ -162,6 +176,9 @@ func (spec *JobSpec) validate() error {
 	}
 	if spec.Timeout < 0 {
 		return fmt.Errorf("sched: negative timeout %v", spec.Timeout)
+	}
+	if spec.MaxAttempts < 0 {
+		return fmt.Errorf("sched: negative max attempts %d", spec.MaxAttempts)
 	}
 	switch spec.Mode {
 	case ModeRun, ModeAdaptive:
@@ -185,6 +202,13 @@ func (spec *JobSpec) validate() error {
 			return fmt.Errorf("sched: unknown algorithm %q", spec.Algorithm)
 		}
 	}
+	ranks := 1
+	if spec.Network != nil {
+		ranks = spec.Network.Size()
+	}
+	if err := spec.Params.Faults.Validate(ranks); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -207,6 +231,26 @@ type Job struct {
 	adaptive    *core.AdaptiveReport
 	err         error
 	fromCache   bool
+	attempts    []AttemptRecord
+}
+
+// AttemptRecord is one scheduler-level execution attempt of a job,
+// JSON-shaped for the hyperhetd job document.
+type AttemptRecord struct {
+	// Attempt is the 1-based attempt number.
+	Attempt int `json:"attempt"`
+	// Started and Finished bound the attempt in wall time.
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Error is the attempt's failure (empty on success).
+	Error string `json:"error,omitempty"`
+	// Retryable reports whether the failure class permitted a retry.
+	Retryable bool `json:"retryable,omitempty"`
+	// BackoffMS is the delay slept before the next attempt (0 on the
+	// final one).
+	BackoffMS int64 `json:"backoff_ms,omitempty"`
+	// VirtualSeconds is the simulated wall time of a successful attempt.
+	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
 }
 
 // ID returns the scheduler-assigned job identifier.
@@ -263,6 +307,21 @@ func (j *Job) FromCache() bool {
 	return j.fromCache
 }
 
+// Attempts returns the job's execution-attempt history so far (empty for
+// cache hits and jobs that never ran).
+func (j *Job) Attempts() []AttemptRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]AttemptRecord(nil), j.attempts...)
+}
+
+// recordAttempt appends one attempt to the job's history.
+func (j *Job) recordAttempt(rec AttemptRecord) {
+	j.mu.Lock()
+	j.attempts = append(j.attempts, rec)
+	j.mu.Unlock()
+}
+
 // JobStatus is an immutable snapshot of a job, shaped for JSON.
 type JobStatus struct {
 	ID        string    `json:"id"`
@@ -279,6 +338,10 @@ type JobStatus struct {
 	Finished  time.Time `json:"finished,omitzero"`
 	// VirtualSeconds is the completed run's simulated wall time.
 	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
+	// Attempts counts the scheduler-level execution attempts consumed.
+	Attempts int `json:"attempts,omitempty"`
+	// AttemptHistory details each attempt (omitted for cache hits).
+	AttemptHistory []AttemptRecord `json:"attempt_history,omitempty"`
 }
 
 // Status snapshots the job.
@@ -308,6 +371,8 @@ func (j *Job) Status() JobStatus {
 	if j.report != nil {
 		st.VirtualSeconds = j.report.WallTime
 	}
+	st.Attempts = len(j.attempts)
+	st.AttemptHistory = append([]AttemptRecord(nil), j.attempts...)
 	return st
 }
 
@@ -335,6 +400,12 @@ type Config struct {
 	// RetainJobs bounds how many finished jobs stay queryable by ID
 	// before the oldest are evicted (default 1024).
 	RetainJobs int
+	// RetryBaseDelay is the backoff before the first retry; successive
+	// retries double it up to RetryMaxDelay, and each delay is jittered
+	// to between half and the full computed value (default 25ms).
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff (default 2s).
+	RetryMaxDelay time.Duration
 }
 
 func (cfg Config) withDefaults() Config {
@@ -350,6 +421,12 @@ func (cfg Config) withDefaults() Config {
 	if cfg.RetainJobs <= 0 {
 		cfg.RetainJobs = 1024
 	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = 2 * time.Second
+	}
 	return cfg
 }
 
@@ -364,6 +441,8 @@ type Stats struct {
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
+	// Retries counts attempts beyond each job's first.
+	Retries   uint64 `json:"retries"`
 	CacheHits uint64 `json:"cache_hits"`
 	CacheMiss uint64 `json:"cache_misses"`
 	// VirtualSeconds accumulates the simulated wall time of every
@@ -391,9 +470,11 @@ type Scheduler struct {
 	ctr      struct {
 		submitted, rejected          uint64
 		completed, failed, cancelled uint64
+		retries                      uint64
 		cacheHits, cacheMisses       uint64
 		virtualSeconds               float64
 	}
+	rng *rand.Rand // backoff jitter; guarded by mu
 
 	// testHookRunning, when set (tests only), is called after a job
 	// transitions to StateRunning and before its simulation starts.
@@ -405,6 +486,7 @@ func New(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:  cfg.withDefaults(),
 		jobs: make(map[string]*Job),
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.cache = newResultCache(s.cfg.CacheEntries)
 	s.cond = sync.NewCond(&s.mu)
@@ -569,6 +651,7 @@ func (s *Scheduler) Stats() Stats {
 		Completed:      s.ctr.completed,
 		Failed:         s.ctr.failed,
 		Cancelled:      s.ctr.cancelled,
+		Retries:        s.ctr.retries,
 		CacheHits:      s.ctr.cacheHits,
 		CacheMiss:      s.ctr.cacheMisses,
 		VirtualSeconds: s.ctr.virtualSeconds,
@@ -677,19 +760,43 @@ func (s *Scheduler) runJob(j *Job) {
 		hook(j)
 	}
 
+	maxAttempts := j.spec.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
 	var res cachedResult
 	var err error
-	spec := &j.spec
-	switch spec.Mode {
-	case ModeAdaptive:
-		res.adaptive, err = core.RunAdaptiveContext(j.ctx, spec.Network, spec.Cube, spec.Params, spec.Adaptive)
-		if res.adaptive != nil {
-			res.report = &res.adaptive.RunReport
+	for attempt := 1; ; attempt++ {
+		started := time.Now()
+		res, err = s.execute(j, attempt)
+		rec := AttemptRecord{
+			Attempt:  attempt,
+			Started:  started,
+			Finished: time.Now(),
 		}
-	case ModeSequential:
-		res.report, err = core.RunSequentialContext(j.ctx, spec.CycleTime, spec.Algorithm, spec.Cube, spec.Params)
-	default: // ModeRun
-		res.report, err = core.RunContext(j.ctx, spec.Network, spec.Algorithm, spec.Variant, spec.Cube, spec.Params)
+		if err == nil {
+			if res.report != nil {
+				rec.VirtualSeconds = res.report.WallTime
+			}
+			j.recordAttempt(rec)
+			break
+		}
+		rec.Error = err.Error()
+		rec.Retryable = Retryable(err)
+		if !rec.Retryable || attempt >= maxAttempts {
+			j.recordAttempt(rec)
+			break
+		}
+		backoff := s.backoff(attempt)
+		rec.BackoffMS = backoff.Milliseconds()
+		j.recordAttempt(rec)
+		s.mu.Lock()
+		s.ctr.retries++
+		s.mu.Unlock()
+		if !sleepCtx(j.ctx, backoff) {
+			err = fmt.Errorf("sched: job %s cancelled during retry backoff: %w", j.id, context.Cause(j.ctx))
+			break
+		}
 	}
 
 	s.mu.Lock()
@@ -704,6 +811,56 @@ func (s *Scheduler) runJob(j *Job) {
 		s.finish(j, StateCancelled, cachedResult{}, err, false)
 	default:
 		s.finish(j, StateFailed, cachedResult{}, err, false)
+	}
+}
+
+// execute runs one attempt of the job. The attempt number is threaded to
+// the fault plan through Params.FaultAttempt, so an injected crash pinned
+// to attempt 1 spares the retry — the transient-failure model.
+func (s *Scheduler) execute(j *Job, attempt int) (cachedResult, error) {
+	var res cachedResult
+	var err error
+	spec := &j.spec
+	params := spec.Params
+	params.FaultAttempt = attempt
+	switch spec.Mode {
+	case ModeAdaptive:
+		res.adaptive, err = core.RunAdaptiveContext(j.ctx, spec.Network, spec.Cube, params, spec.Adaptive)
+		if res.adaptive != nil {
+			res.report = &res.adaptive.RunReport
+		}
+	case ModeSequential:
+		res.report, err = core.RunSequentialContext(j.ctx, spec.CycleTime, spec.Algorithm, spec.Cube, params)
+	default: // ModeRun
+		res.report, err = core.RunContext(j.ctx, spec.Network, spec.Algorithm, spec.Variant, spec.Cube, params)
+	}
+	return res, err
+}
+
+// backoff computes the capped exponential delay before retry n+1 (after
+// attempt n failed), jittered to [d/2, d] so synchronized failures don't
+// retry in lockstep.
+func (s *Scheduler) backoff(attempt int) time.Duration {
+	d := s.cfg.RetryBaseDelay << (attempt - 1)
+	if d > s.cfg.RetryMaxDelay || d <= 0 { // <= 0 guards shift overflow
+		d = s.cfg.RetryMaxDelay
+	}
+	s.mu.Lock()
+	f := 0.5 + s.rng.Float64()/2
+	s.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// sleepCtx sleeps for d unless ctx dies first, reporting whether the full
+// delay elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 

@@ -130,10 +130,22 @@ func (c *Clock) AdvanceTo(t float64, cat Category) {
 // operations on this processor: flops/1e6 * cycleTime seconds, in category
 // cat (Seq for root-only phases, Par for concurrent phases).
 func (c *Clock) Compute(flops float64, cat Category) {
+	c.ComputeDegraded(flops, 1, cat)
+}
+
+// ComputeDegraded charges flops like Compute but multiplies the cost by a
+// degradation factor: 1 is the processor's nominal speed, factors above 1
+// model a transiently slowed processor (thermal throttling, contention, or
+// an injected fault — see package fault). The factor must be positive and
+// finite.
+func (c *Clock) ComputeDegraded(flops, factor float64, cat Category) {
 	if flops < 0 || math.IsNaN(flops) || math.IsInf(flops, 0) {
 		panic(fmt.Sprintf("vtime: invalid flop count %v", flops))
 	}
-	c.Add(flops/1e6*c.cycleTime, cat)
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("vtime: invalid degradation factor %v", factor))
+	}
+	c.Add(flops/1e6*c.cycleTime*factor, cat)
 }
 
 // Snapshot is an immutable copy of a clock's state, safe to share across

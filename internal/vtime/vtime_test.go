@@ -232,3 +232,22 @@ func TestIdleCategoryString(t *testing.T) {
 		t.Errorf("Idle label = %q", Idle.String())
 	}
 }
+
+// ComputeDegraded multiplies the nominal flop cost by the factor and
+// rejects non-positive factors.
+func TestComputeDegraded(t *testing.T) {
+	c := NewClock(0.01)
+	c.Compute(2e6, Par)
+	nominal := c.Now()
+	d := NewClock(0.01)
+	d.ComputeDegraded(2e6, 3, Par)
+	if got, want := d.Now(), 3*nominal; got != want {
+		t.Fatalf("degraded time = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero factor did not panic")
+		}
+	}()
+	d.ComputeDegraded(1e6, 0, Par)
+}
