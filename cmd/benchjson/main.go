@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, suitable for committing as a benchmark baseline
+// (BENCH_0.json at the repository root) and for machine diffing in CI:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=1x ./... | go run ./cmd/benchjson > BENCH_0.json
+//
+// Every benchmark line becomes one record carrying the benchmark name
+// (with the -GOMAXPROCS suffix split off), the iteration count and a map
+// of every reported metric — the standard ns/op, B/op and allocs/op as
+// well as the custom b.ReportMetric units this repo emits (vsec,
+// vsec_com, D_all, speedup, jobs/sec, ...). Output records are sorted by
+// package and name so the JSON is diff-friendly regardless of benchmark
+// scheduling order.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one parsed benchmark result line.
+type benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -N GOMAXPROCS suffix (kept separately in Procs).
+	Name string `json:"name"`
+	// Pkg is the import path the benchmark ran in.
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is the GOMAXPROCS suffix of the name (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit name to value: "ns/op", "B/op", "allocs/op" and
+	// any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// document is the full converted output.
+type document struct {
+	// Goos, Goarch and CPU are taken from the go test header lines.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks are sorted by (pkg, name, procs).
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output and collects header fields and
+// benchmark lines. Unrecognized lines (PASS, ok, test logs) are skipped.
+func parse(r io.Reader) (*document, error) {
+	doc := &document{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %w", err)
+			}
+			if ok {
+				b.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		a, b := doc.Benchmarks[i], doc.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Procs < b.Procs
+	})
+	return doc, nil
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   4   123456 ns/op   12 vsec   64 B/op   2 allocs/op
+//
+// ok is false for lines that merely start a benchmark (name only, no
+// fields) — go test prints those while a benchmark is running.
+func parseLine(line string) (benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return benchmark{}, false, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b := benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value, unit.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return benchmark{}, false, fmt.Errorf("odd metric fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return benchmark{}, false, fmt.Errorf("bad metric value %q in %q: %w", rest[i], line, err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true, nil
+}
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

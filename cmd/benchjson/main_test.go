@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Imaginary CPU @ 2.40GHz
+BenchmarkTable3_ATDCA-8   	       2	 512345678 ns/op	        81.50 vsec	 1024 B/op	      12 allocs/op
+BenchmarkTable5/atdca/fully-het-8         	       1	 734000000 ns/op	         0.4100 D_all	        84.00 vsec	         9.100 vsec_com
+BenchmarkKernelSAD    	 1000000	      1042 ns/op
+PASS
+ok  	repro	12.345s
+pkg: repro/internal/sched
+BenchmarkSchedulerThroughput-8	      64	  15624999 ns/op	        64.00 jobs/sec
+PASS
+ok  	repro/internal/sched	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("header: goos=%q goarch=%q", doc.Goos, doc.Goarch)
+	}
+	if doc.CPU != "Imaginary CPU @ 2.40GHz" {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	// Sorted by (pkg, name): repro/* before repro/internal/sched/*.
+	byName := map[string]benchmark{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b
+	}
+
+	at, ok := byName["Table3_ATDCA"]
+	if !ok {
+		t.Fatalf("Table3_ATDCA missing; have %v", doc.Benchmarks)
+	}
+	if at.Procs != 8 || at.Iterations != 2 || at.Pkg != "repro" {
+		t.Errorf("Table3_ATDCA parsed as %+v", at)
+	}
+	if at.Metrics["vsec"] != 81.5 || at.Metrics["allocs/op"] != 12 {
+		t.Errorf("Table3_ATDCA metrics: %v", at.Metrics)
+	}
+
+	// Sub-benchmark names keep their slashes; custom metrics survive.
+	t5 := byName["Table5/atdca/fully-het"]
+	if t5.Metrics["D_all"] != 0.41 || t5.Metrics["vsec_com"] != 9.1 {
+		t.Errorf("Table5 metrics: %v", t5.Metrics)
+	}
+
+	// A name without -N suffix parses with Procs 0.
+	sad := byName["KernelSAD"]
+	if sad.Procs != 0 || sad.Iterations != 1000000 || sad.Metrics["ns/op"] != 1042 {
+		t.Errorf("KernelSAD parsed as %+v", sad)
+	}
+
+	// The pkg header resets between packages.
+	sched := byName["SchedulerThroughput"]
+	if sched.Pkg != "repro/internal/sched" {
+		t.Errorf("SchedulerThroughput pkg = %q", sched.Pkg)
+	}
+}
+
+func TestParseSortsDeterministically(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(doc.Benchmarks); i++ {
+		a, b := doc.Benchmarks[i-1], doc.Benchmarks[i]
+		if a.Pkg > b.Pkg || (a.Pkg == b.Pkg && a.Name > b.Name) {
+			t.Errorf("benchmarks out of order: %s/%s before %s/%s", a.Pkg, a.Name, b.Pkg, b.Name)
+		}
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8 notanumber 12 ns/op",
+		"BenchmarkX-8 2 twelve ns/op",
+		"BenchmarkX-8 2 12 ns/op dangling",
+	} {
+		if _, err := parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("parse(%q) accepted malformed input", bad)
+		}
+	}
+	// A bare in-progress line (name only) is skipped, not an error.
+	doc, err := parse(strings.NewReader("BenchmarkX-8\nBenchmarkY-8   2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("in-progress lines should be skipped, got %v", doc.Benchmarks)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzSubmitJSON drives the /submit decode-and-parse path with arbitrary
+// bodies. The invariant under fuzz: malformed input yields an error (the
+// handler's 400), never a panic, and never a JobSpec that passes parsing
+// with an unbounded scene. Scene materialization is deliberately outside
+// the fuzzed path — parseSubmit is pure — so the fuzzer can run millions
+// of executions without allocating cubes.
+func FuzzSubmitJSON(f *testing.F) {
+	seeds := []string{
+		tinyJob,
+		tracedJob,
+		`{}`,
+		`{"algorithm": "ufcls", "variant": "homo", "network": "part-het", "priority": "interactive"}`,
+		`{"algorithm": "pct", "classes": 5, "scaled": true, "scene": {"lines": 32, "samples": 32, "bands": 16}}`,
+		`{"algorithm": "morph", "mode": "run", "network": "thunderhead", "cpus": 4}`,
+		`{"mode": "adaptive", "network": "fully-homo", "timeout_ms": 5000}`,
+		`{"algorithm": "atdca", "faults": {"crashes": [{"rank": 2, "at": 0.5}], "max_attempts": 3, "recovery": true}}`,
+		`{"algorithm": "atdca", "faults": {"seed": 7}}`,
+		// Malformed shapes the decoder or parser must reject cleanly.
+		`{"algorithm": "atdca", "mode": "sequential", "cycle_time": -1}`,
+		`{"algorithm": "nope"}`,
+		`{"priority": "urgent"}`,
+		`{"timeout_ms": -5}`,
+		`{"targets": -1}`,
+		`{"scene": {"lines": -3}}`,
+		`{"scene": {"lines": 2147483647, "samples": 2147483647, "bands": 2147483647}}`,
+		`{"faults": {"seed": 1, "crashes": [{"rank": 0, "at": 1}]}}`,
+		`{"unknown_field": true}`,
+		`{"algorithm": ["not", "a", "string"]}`,
+		`not json at all`,
+		`{"scene": {"snr_db": 1e308}}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		var req submitRequest
+		dec := json.NewDecoder(strings.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return // the handler 400s here
+		}
+		spec, cfg, err := parseSubmit(&req)
+		if err != nil {
+			return // the handler 400s here
+		}
+		// A spec that parsed must be within the server's scene bounds …
+		voxels := int64(cfg.Lines) * int64(cfg.Samples) * int64(cfg.Bands)
+		if voxels <= 0 || voxels > maxSceneVoxels {
+			t.Fatalf("parsed scene escapes the cap: %+v (%d voxels)", cfg, voxels)
+		}
+		// … and must carry coherent fields for its mode.
+		switch spec.Mode {
+		case "run", "adaptive":
+			if spec.Network == nil {
+				t.Fatalf("networked spec without network: %+v", spec)
+			}
+		case "sequential":
+			if spec.CycleTime < 0 {
+				t.Fatalf("sequential spec with negative cycle-time: %+v", spec)
+			}
+		}
+		if spec.Timeout < 0 {
+			t.Fatalf("negative timeout survived parsing: %+v", spec)
+		}
+	})
+}

@@ -7,13 +7,17 @@
 //	hyperhetd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	          [-retain N] [-timeout D]
 //
-// Endpoints (all JSON):
+// Endpoints (JSON unless noted):
 //
 //	POST /submit           submit a job; 202 with {"id": ...} on admission,
 //	                       429 when the bounded queue is full
 //	GET  /jobs/{id}        job status, including result summary when done
+//	GET  /jobs/{id}/trace  Chrome trace-event JSON of a traced run (submit
+//	                       with "trace": true); load in Perfetto
 //	POST /jobs/{id}/cancel abort a queued or running job
 //	GET  /stats            scheduler counters and server uptime
+//	GET  /metrics          Prometheus text exposition of every instrument
+//	GET  /debug/pprof/*    Go runtime profiles (only with -pprof)
 //	GET  /healthz          liveness probe
 //
 // A submission names an algorithm, a platform and a scene; the server
@@ -42,7 +46,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +67,7 @@ func main() {
 		cache   = flag.Int("cache", 128, "result cache entries (negative disables)")
 		retain  = flag.Int("retain", 1024, "finished jobs kept queryable by id")
 		timeout = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		pprofOn = flag.Bool("pprof", false, "expose Go runtime profiles at /debug/pprof/")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -84,6 +91,7 @@ func main() {
 		RetainJobs:     *retain,
 		DefaultTimeout: *timeout,
 	})
+	srv.enablePprof = *pprofOn
 	defer srv.close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
@@ -106,10 +114,23 @@ func main() {
 // megabytes each and requests overwhelmingly reuse a handful of configs.
 const maxCachedScenes = 16
 
+// Server-side scene bounds: a submission is a small JSON document that
+// makes the server allocate lines*samples*bands float32 voxels, so the
+// decoder must refuse sizes that would let one request exhaust memory.
+// 64M voxels is 256 MB — comfortably above the paper's reduced scenes,
+// far below a parsed-from-JSON denial of service.
+const (
+	maxSceneDim    = 1 << 16
+	maxSceneVoxels = 64 << 20
+)
+
 // server wires the scheduler to the HTTP API.
 type server struct {
-	sched *hyperhet.Scheduler
-	start time.Time
+	sched       *hyperhet.Scheduler
+	reg         *hyperhet.TelemetryRegistry
+	logger      *slog.Logger
+	start       time.Time
+	enablePprof bool
 
 	mu     sync.Mutex
 	scenes map[hyperhet.SceneConfig]*sceneEntry
@@ -122,8 +143,13 @@ type sceneEntry struct {
 }
 
 func newServer(cfg hyperhet.SchedulerConfig) *server {
+	reg := hyperhet.NewTelemetryRegistry()
+	cfg.Registry = reg
 	return &server{
-		sched:  hyperhet.NewScheduler(cfg),
+		sched: hyperhet.NewScheduler(cfg),
+		reg:   reg,
+		logger: slog.New(hyperhet.NewCountingLogHandler(reg,
+			slog.NewTextHandler(os.Stderr, nil))),
 		start:  time.Now(),
 		scenes: make(map[hyperhet.SceneConfig]*sceneEntry),
 	}
@@ -135,27 +161,37 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /submit", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.enablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 // submitRequest is the body of POST /submit.
 type submitRequest struct {
-	Algorithm string       `json:"algorithm"`
-	Variant   string       `json:"variant"`    // hetero (default) or homo
-	Mode      string       `json:"mode"`       // run (default), adaptive, sequential
-	Network   string       `json:"network"`    // fully-het, fully-homo, part-het, part-homo, thunderhead
-	CPUs      int          `json:"cpus"`       // thunderhead node count
-	CycleTime float64      `json:"cycle_time"` // sequential-mode processor speed
-	Priority  string       `json:"priority"`   // interactive or batch (default)
-	TimeoutMS int64        `json:"timeout_ms"`
-	Targets   int          `json:"targets"`
-	Classes   int          `json:"classes"`
+	Algorithm string        `json:"algorithm"`
+	Variant   string        `json:"variant"`    // hetero (default) or homo
+	Mode      string        `json:"mode"`       // run (default), adaptive, sequential
+	Network   string        `json:"network"`    // fully-het, fully-homo, part-het, part-homo, thunderhead
+	CPUs      int           `json:"cpus"`       // thunderhead node count
+	CycleTime float64       `json:"cycle_time"` // sequential-mode processor speed
+	Priority  string        `json:"priority"`   // interactive or batch (default)
+	TimeoutMS int64         `json:"timeout_ms"`
+	Targets   int           `json:"targets"`
+	Classes   int           `json:"classes"`
 	Scaled    bool          `json:"scaled"` // charge full-scene work via ScaledParams
+	Trace     bool          `json:"trace"`  // record the run's virtual-time events for /jobs/{id}/trace
 	Label     string        `json:"label"`
 	NoCache   bool          `json:"no_cache"`
 	Scene     sceneRequest  `json:"scene"`
@@ -193,10 +229,23 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	spec, err := s.buildSpec(&req)
+	spec, sceneCfg, err := parseSubmit(&req)
+	if err != nil {
+		s.logger.Warn("submit rejected", "error", err)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Materialize the (validated, size-capped) scene only after the whole
+	// request parsed: parseSubmit allocates nothing.
+	entry, err := s.scene(sceneCfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	spec.Cube = entry.cube
+	spec.CubeDigest = entry.digest
+	if req.Scaled {
+		spec.Params = hyperhet.ScaledParams(spec.Params, sceneCfg)
 	}
 	// Jobs outlive the submit request: derive from Background, not
 	// r.Context(), which dies as soon as this handler returns.
@@ -212,12 +261,21 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.logger.Info("job submitted", "id", job.ID(), "mode", spec.Mode, "algorithm", spec.Algorithm, "priority", spec.Priority.String())
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
-// buildSpec resolves a submit request into a scheduler JobSpec.
-func (s *server) buildSpec(req *submitRequest) (hyperhet.JobSpec, error) {
+// parseSubmit resolves a submit request into a scheduler JobSpec plus the
+// scene configuration to materialize. It is pure — no allocation beyond
+// the spec, no scene generation — so the fuzzer drives it directly with
+// arbitrary decoded requests; every malformed field must surface as an
+// error here, never as a panic or an allocation downstream.
+func parseSubmit(req *submitRequest) (hyperhet.JobSpec, hyperhet.SceneConfig, error) {
 	var spec hyperhet.JobSpec
+	sceneCfg, err := parseScene(req.Scene)
+	if err != nil {
+		return spec, sceneCfg, err
+	}
 
 	mode := hyperhet.JobMode(strings.ToLower(req.Mode))
 	if req.Mode == "" {
@@ -236,7 +294,7 @@ func (s *server) buildSpec(req *submitRequest) (hyperhet.JobSpec, error) {
 		case "morph":
 			spec.Algorithm = hyperhet.MORPH
 		default:
-			return spec, fmt.Errorf("unknown algorithm %q (want atdca, ufcls, pct or morph)", req.Algorithm)
+			return spec, sceneCfg, fmt.Errorf("unknown algorithm %q (want atdca, ufcls, pct or morph)", req.Algorithm)
 		}
 	}
 	switch strings.ToLower(req.Variant) {
@@ -245,72 +303,47 @@ func (s *server) buildSpec(req *submitRequest) (hyperhet.JobSpec, error) {
 	case "homo":
 		spec.Variant = hyperhet.Homo
 	default:
-		return spec, fmt.Errorf("unknown variant %q (want hetero or homo)", req.Variant)
+		return spec, sceneCfg, fmt.Errorf("unknown variant %q (want hetero or homo)", req.Variant)
 	}
 	if mode == hyperhet.ModeSequential {
 		if req.CycleTime < 0 {
-			return spec, fmt.Errorf("invalid cycle_time %v", req.CycleTime)
+			return spec, sceneCfg, fmt.Errorf("invalid cycle_time %v", req.CycleTime)
 		}
 		spec.CycleTime = req.CycleTime
 	} else {
 		net, err := resolveNetwork(req.Network, req.CPUs)
 		if err != nil {
-			return spec, err
+			return spec, sceneCfg, err
 		}
 		spec.Network = net
 	}
 
 	pri, err := hyperhet.ParseJobPriority(strings.ToLower(req.Priority))
 	if err != nil {
-		return spec, err
+		return spec, sceneCfg, err
 	}
 	spec.Priority = pri
 	if req.TimeoutMS < 0 {
-		return spec, fmt.Errorf("invalid timeout_ms %d", req.TimeoutMS)
+		return spec, sceneCfg, fmt.Errorf("invalid timeout_ms %d", req.TimeoutMS)
 	}
 	spec.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	spec.Label = req.Label
 	spec.NoCache = req.NoCache
 
-	cfg := hyperhet.DefaultSceneConfig()
-	if req.Scene.Lines != 0 {
-		cfg.Lines = req.Scene.Lines
-	}
-	if req.Scene.Samples != 0 {
-		cfg.Samples = req.Scene.Samples
-	}
-	if req.Scene.Bands != 0 {
-		cfg.Bands = req.Scene.Bands
-	}
-	if req.Scene.Seed != 0 {
-		cfg.Seed = req.Scene.Seed
-	}
-	if req.Scene.SNRdB != 0 {
-		cfg.SNRdB = req.Scene.SNRdB
-	}
-	entry, err := s.scene(cfg)
-	if err != nil {
-		return spec, err
-	}
-	spec.Cube = entry.cube
-	spec.CubeDigest = entry.digest
-
 	spec.Params = hyperhet.DefaultParams()
+	spec.Params.Trace = req.Trace
 	if req.Targets != 0 {
 		if req.Targets < 0 {
-			return spec, fmt.Errorf("invalid targets %d", req.Targets)
+			return spec, sceneCfg, fmt.Errorf("invalid targets %d", req.Targets)
 		}
 		spec.Params.Targets = req.Targets
 	}
 	if req.Classes != 0 {
 		if req.Classes < 0 {
-			return spec, fmt.Errorf("invalid classes %d", req.Classes)
+			return spec, sceneCfg, fmt.Errorf("invalid classes %d", req.Classes)
 		}
 		spec.Params.PCT.Classes = req.Classes
 		spec.Params.Morph.Classes = req.Classes
-	}
-	if req.Scaled {
-		spec.Params = hyperhet.ScaledParams(spec.Params, cfg)
 	}
 	if req.Faults != nil {
 		plan := &hyperhet.FaultPlan{
@@ -320,25 +353,25 @@ func (s *server) buildSpec(req *submitRequest) (hyperhet.JobSpec, error) {
 		}
 		if req.Faults.Seed != 0 {
 			if !plan.Empty() {
-				return spec, fmt.Errorf("faults: give explicit events or a seed, not both")
+				return spec, sceneCfg, fmt.Errorf("faults: give explicit events or a seed, not both")
 			}
 			if spec.Network == nil {
-				return spec, fmt.Errorf("faults: seeded plans need a networked mode")
+				return spec, sceneCfg, fmt.Errorf("faults: seeded plans need a networked mode")
 			}
 			var err error
 			plan, err = hyperhet.RandomFaultPlan(req.Faults.Seed, hyperhet.RandomFaultConfig{Ranks: spec.Network.Size()})
 			if err != nil {
-				return spec, err
+				return spec, sceneCfg, err
 			}
 		}
 		if req.Faults.MaxAttempts < 0 {
-			return spec, fmt.Errorf("faults: invalid max_attempts %d", req.Faults.MaxAttempts)
+			return spec, sceneCfg, fmt.Errorf("faults: invalid max_attempts %d", req.Faults.MaxAttempts)
 		}
 		spec.Params.Faults = plan
 		spec.Params.Recovery = hyperhet.RecoveryOptions{Enabled: req.Faults.Recovery}
 		spec.MaxAttempts = req.Faults.MaxAttempts
 	}
-	return spec, nil
+	return spec, sceneCfg, nil
 }
 
 // scene returns the cached scene for cfg, generating it on first use.
@@ -367,6 +400,41 @@ func (s *server) scene(cfg hyperhet.SceneConfig) (*sceneEntry, error) {
 	}
 	s.scenes[cfg] = entry
 	return entry, nil
+}
+
+// parseScene resolves the scene request against the reduced-WTC defaults
+// and enforces the server-side size cap before anything is allocated.
+// The per-dimension bound keeps the voxel product far from int64
+// overflow even on hostile inputs.
+func parseScene(req sceneRequest) (hyperhet.SceneConfig, error) {
+	cfg := hyperhet.DefaultSceneConfig()
+	if req.Lines != 0 {
+		cfg.Lines = req.Lines
+	}
+	if req.Samples != 0 {
+		cfg.Samples = req.Samples
+	}
+	if req.Bands != 0 {
+		cfg.Bands = req.Bands
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if req.SNRdB != 0 {
+		cfg.SNRdB = req.SNRdB
+	}
+	for _, d := range []struct {
+		name string
+		v    int
+	}{{"lines", cfg.Lines}, {"samples", cfg.Samples}, {"bands", cfg.Bands}} {
+		if d.v <= 0 || d.v > maxSceneDim {
+			return cfg, fmt.Errorf("scene: %s %d out of range [1, %d]", d.name, d.v, maxSceneDim)
+		}
+	}
+	if voxels := int64(cfg.Lines) * int64(cfg.Samples) * int64(cfg.Bands); voxels > maxSceneVoxels {
+		return cfg, fmt.Errorf("scene: %d voxels exceeds the server cap of %d", voxels, int64(maxSceneVoxels))
+	}
+	return cfg, nil
 }
 
 func resolveNetwork(name string, cpus int) (*hyperhet.Network, error) {
@@ -443,6 +511,32 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		resp.Result = sum
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace exports a traced job's virtual-time events as Chrome
+// trace-event JSON: load the response in Perfetto (ui.perfetto.dev) or
+// chrome://tracing for a per-rank flame view of the simulated run.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	rep := job.Report()
+	if rep == nil {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s has no result (state %s)", job.ID(), job.State()))
+		return
+	}
+	if len(rep.TraceEvents) == 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %s was not traced; submit with \"trace\": true", job.ID()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := hyperhet.WriteChromeTrace(w, rep.TraceEvents); err != nil {
+		s.logger.Error("trace export failed", "id", job.ID(), "error", err)
+	}
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -246,15 +246,22 @@ func TestSubmitRejectsBadRequests(t *testing.T) {
 }
 
 func TestBackpressureReturns429(t *testing.T) {
-	// One worker and a one-slot queue: the third concurrent submission
-	// of a slow job must be rejected with 429.
-	ts := testServer(t, hyperhet.SchedulerConfig{Workers: 1, QueueDepth: 1, CacheEntries: -1})
-	// One fixed scene: after the first submission generates it, the rest
-	// admit in microseconds while each run takes hundreds of
-	// milliseconds, so the one-slot queue must overflow.
+	// One worker and a one-slot queue: with the worker occupied and the
+	// slot taken, a further submission must be rejected with 429. The
+	// blocker job crashes instantly on every attempt and then sits in a
+	// long retry backoff, so the worker is held by a *sleep*, not by
+	// computation — a CPU-heavy blocker starves the HTTP handler itself
+	// on a single-core runner, letting the worker drain the queue
+	// between slowed-down submissions (the old, flaky shape of this
+	// test).
+	ts := testServer(t, hyperhet.SchedulerConfig{
+		Workers: 1, QueueDepth: 1, CacheEntries: -1,
+		RetryBaseDelay: 2 * time.Second, RetryMaxDelay: 2 * time.Second,
+	})
 	const slow = `{
-		"algorithm": "morph", "network": "fully-het", "no_cache": true,
-		"scene": {"lines": 192, "samples": 96, "bands": 48, "seed": 42}
+		"algorithm": "atdca", "network": "fully-het", "targets": 4, "no_cache": true,
+		"scene": {"lines": 24, "samples": 16, "bands": 8, "seed": 3},
+		"faults": {"crashes": [{"rank": 1, "at": 0, "attempt": -1}], "max_attempts": 4}
 	}`
 	sawFull := false
 	for i := 0; i < 8 && !sawFull; i++ {
@@ -276,10 +283,18 @@ func TestBackpressureReturns429(t *testing.T) {
 }
 
 func TestCancelEndpoint(t *testing.T) {
-	ts := testServer(t, hyperhet.SchedulerConfig{Workers: 1, QueueDepth: 4, CacheEntries: -1})
+	// The job crashes instantly and then sits in long retry backoffs, so
+	// there is a wide, CPU-independent window in which the cancel lands
+	// (racing a cancel against a real compute run is flaky on a loaded
+	// single-core runner — the run can finish first).
+	ts := testServer(t, hyperhet.SchedulerConfig{
+		Workers: 1, QueueDepth: 4, CacheEntries: -1,
+		RetryBaseDelay: 2 * time.Second, RetryMaxDelay: 2 * time.Second,
+	})
 	body := `{
-		"algorithm": "morph", "network": "fully-het",
-		"scene": {"lines": 192, "samples": 96, "bands": 48, "seed": 99}
+		"algorithm": "atdca", "network": "fully-het", "targets": 4,
+		"scene": {"lines": 24, "samples": 16, "bands": 8, "seed": 3},
+		"faults": {"crashes": [{"rank": 1, "at": 0, "attempt": -1}], "max_attempts": 10}
 	}`
 	resp, doc := postJSON(t, ts.URL+"/submit", body)
 	if resp.StatusCode != http.StatusAccepted {

@@ -23,6 +23,8 @@ package hyperhet
 
 import (
 	"context"
+	"io"
+	"log/slog"
 
 	"repro/internal/algo"
 	"repro/internal/core"
@@ -36,6 +38,7 @@ import (
 	"repro/internal/scene"
 	"repro/internal/sched"
 	"repro/internal/spectral"
+	"repro/internal/telemetry"
 )
 
 // Core data types.
@@ -332,6 +335,38 @@ func ParseJobPriority(s string) (JobPriority, error) { return sched.ParsePriorit
 // SchedCubeDigest returns the scene component of the scheduler's result
 // cache key; precompute it when submitting one cube many times.
 func SchedCubeDigest(f *Cube) string { return sched.CubeDigest(f) }
+
+// Telemetry: dependency-free instrumentation behind hyperhetd's /metrics
+// endpoint. Pass a registry to SchedulerConfig.Registry to instrument a
+// scheduler (and, through it, the simulation layers).
+type (
+	// TelemetryRegistry holds metric instruments and renders them in the
+	// Prometheus text exposition format.
+	TelemetryRegistry = telemetry.Registry
+	// MPIEvent is one traced virtual-time activity of one rank; a
+	// completed traced run's events live in RunReport.TraceEvents.
+	MPIEvent = mpi.Event
+	// MPIRankCounters aggregates one rank's message and compute activity
+	// over a run (RunResult-level; the registry carries cross-run totals).
+	MPIRankCounters = mpi.RankCounters
+)
+
+// NewTelemetryRegistry creates an empty metric registry. Its Handler
+// method serves GET /metrics.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewCountingLogHandler wraps a slog.Handler so every record is counted
+// into reg (hyperhet_log_records_total{level}) before being delegated.
+func NewCountingLogHandler(reg *TelemetryRegistry, next slog.Handler) slog.Handler {
+	return telemetry.NewLogHandler(reg, next)
+}
+
+// WriteChromeTrace exports traced run events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one thread
+// row per rank, receive waits split into separate idle slices.
+func WriteChromeTrace(w io.Writer, events []MPIEvent) error {
+	return mpi.WriteChromeTrace(w, events)
+}
 
 // Scoring.
 

@@ -171,6 +171,11 @@ type RunReport struct {
 	// Timeline is a per-processor activity chart of the run, rendered
 	// when Params.Trace was set (empty otherwise).
 	Timeline string
+	// TraceEvents holds the raw virtual-time events of the successful
+	// attempt when Params.Trace was set (nil otherwise). Feed them to
+	// mpi.WriteChromeTrace for a Perfetto-loadable export. Treat the
+	// slice as immutable: cached reports are shared between jobs.
+	TraceEvents []mpi.Event
 
 	// Attempts counts the executions behind this report: 1 for a clean
 	// run, more when degraded-mode recovery rescued the job.
@@ -213,6 +218,8 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 	if err != nil {
 		return nil, err
 	}
+	tel := MetricsFrom(ctx)
+	tel.runStarted(alg)
 	program := func(c *mpi.Comm) any {
 		var data *cube.Cube
 		if c.Root() {
@@ -278,6 +285,7 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 			world.SetDataScale(params.DataScale)
 		}
 		if err := world.SetFaults(plan, attempt); err != nil {
+			tel.runFailed()
 			return nil, fmt.Errorf("core: %s/%s on %s: %w", alg, variant, net.Name, err)
 		}
 		var trace *mpi.Trace
@@ -291,8 +299,10 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 			recoverable := params.Recovery.Enabled && errors.As(err, &rf) &&
 				rf.Rank != 0 && used < budget && curNet.Size() > 1
 			if !recoverable {
+				tel.runFailed()
 				return nil, fmt.Errorf("core: %s/%s on %s: %w", alg, variant, net.Name, err)
 			}
+			tel.rankLost()
 			overhead += rf.VTime
 			failedRanks = append(failedRanks, alive[rf.Rank])
 			degraded, derr := curNet.Without(rf.Rank)
@@ -337,7 +347,10 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 		}
 		if trace != nil {
 			report.Timeline = trace.Timeline(curNet.Size(), 100)
+			report.TraceEvents = trace.Events()
 		}
+		tel.runDone(report)
+		tel.mpiRun(res.Counters)
 		return report, nil
 	}
 }
@@ -372,6 +385,8 @@ func RunAdaptiveContext(ctx context.Context, net *platform.Network, f *cube.Cube
 		return nil, fmt.Errorf("core: adaptive ATDCA on %s: %w", net.Name, err)
 	}
 	params = params.withDefaults()
+	tel := MetricsFrom(ctx)
+	tel.runStarted(ATDCA)
 	world := mpi.NewWorld(net)
 	world.SetContext(ctx)
 	if params.WorkScale > 0 {
@@ -404,6 +419,7 @@ func RunAdaptiveContext(ctx context.Context, net *platform.Network, f *cube.Cube
 		return pair{det: det, trace: trace}
 	})
 	if err != nil {
+		tel.runFailed()
 		return nil, fmt.Errorf("core: adaptive ATDCA on %s: %w", net.Name, err)
 	}
 	root := res.Root().(pair)
@@ -426,6 +442,8 @@ func RunAdaptiveContext(ctx context.Context, net *platform.Network, f *cube.Cube
 		report.DAll, report.DMinus = 1, 1
 	}
 	report.Detection = root.det
+	tel.runDone(&report.RunReport)
+	tel.mpiRun(res.Counters)
 	return report, nil
 }
 

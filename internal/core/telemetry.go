@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"strconv"
+
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// Metrics holds core's instruments. Construct one per registry with
+// NewMetrics and attach it to a run via WithMetrics; a nil *Metrics is a
+// valid no-op, so library callers that don't care about telemetry pay
+// nothing. Metrics travels on the context rather than in Params because
+// Params is part of the scheduler's result-cache key (rendered with %+v)
+// and must stay a pure value type.
+type Metrics struct {
+	runsStarted    *telemetry.CounterVec
+	runsFailed     *telemetry.Counter
+	runsRecovered  *telemetry.Counter
+	ranksLost      *telemetry.Counter
+	virtualSeconds *telemetry.CounterVec
+	lastDAll       *telemetry.Gauge
+	lastDMinus     *telemetry.Gauge
+
+	// Per-rank MPI activity, aggregated across runs. Rank cardinality is
+	// bounded by the largest simulated network, which the paper caps at
+	// 16 processors.
+	mpiMsgs  *telemetry.CounterVec // kind (send|recv), rank
+	mpiBytes *telemetry.CounterVec // direction (sent|recv), rank
+	mpiFlops *telemetry.CounterVec // rank
+}
+
+// NewMetrics registers core's instruments against reg. Call once per
+// registry: registering the same names twice panics by design.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		runsStarted: reg.NewCounterVec("hyperhet_core_runs_started_total",
+			"Simulated runs started, by algorithm.", "algorithm"),
+		runsFailed: reg.NewCounter("hyperhet_core_runs_failed_total",
+			"Simulated runs that returned an error."),
+		runsRecovered: reg.NewCounter("hyperhet_core_runs_recovered_total",
+			"Runs that completed only after degraded-mode recovery."),
+		ranksLost: reg.NewCounter("hyperhet_core_ranks_lost_total",
+			"Worker ranks excluded from a platform by degraded-mode recovery."),
+		virtualSeconds: reg.NewCounterVec("hyperhet_core_virtual_seconds_total",
+			"Root-timeline virtual time simulated, by category (PAR includes root idle, per the paper's convention).", "category"),
+		lastDAll: reg.NewGauge("hyperhet_core_imbalance_d_all",
+			"Load-imbalance ratio D_all of the most recent run."),
+		lastDMinus: reg.NewGauge("hyperhet_core_imbalance_d_minus",
+			"Load-imbalance ratio D_minus (root excluded) of the most recent run."),
+		mpiMsgs: reg.NewCounterVec("hyperhet_mpi_messages_total",
+			"Messages exchanged in successful runs, by kind and rank.", "kind", "rank"),
+		mpiBytes: reg.NewCounterVec("hyperhet_mpi_bytes_total",
+			"Bytes transferred in successful runs, by direction and rank.", "direction", "rank"),
+		mpiFlops: reg.NewCounterVec("hyperhet_mpi_flops_total",
+			"Floating-point operations charged in successful runs, by rank.", "rank"),
+	}
+}
+
+func (m *Metrics) runStarted(alg Algorithm) {
+	if m == nil {
+		return
+	}
+	m.runsStarted.With(string(alg)).Inc()
+}
+
+func (m *Metrics) runFailed() {
+	if m == nil {
+		return
+	}
+	m.runsFailed.Inc()
+}
+
+func (m *Metrics) rankLost() {
+	if m == nil {
+		return
+	}
+	m.ranksLost.Inc()
+}
+
+func (m *Metrics) runDone(rep *RunReport) {
+	if m == nil {
+		return
+	}
+	if rep.Attempts > 1 {
+		m.runsRecovered.Inc()
+	}
+	m.virtualSeconds.With("COM").Add(rep.Com)
+	m.virtualSeconds.With("SEQ").Add(rep.Seq)
+	m.virtualSeconds.With("PAR").Add(rep.Par)
+	m.lastDAll.Set(rep.DAll)
+	m.lastDMinus.Set(rep.DMinus)
+}
+
+// mpiRun folds one successful run's per-rank counters into the
+// cross-run totals.
+func (m *Metrics) mpiRun(ctrs []mpi.RankCounters) {
+	if m == nil {
+		return
+	}
+	for r, c := range ctrs {
+		rank := strconv.Itoa(r)
+		m.mpiMsgs.With("send", rank).Add(float64(c.Sends))
+		m.mpiMsgs.With("recv", rank).Add(float64(c.Recvs))
+		m.mpiBytes.With("sent", rank).Add(float64(c.BytesSent))
+		m.mpiBytes.With("recv", rank).Add(float64(c.BytesRecv))
+		m.mpiFlops.With(rank).Add(c.Flops)
+	}
+}
+
+type metricsKey struct{}
+
+// WithMetrics returns a context carrying m; runs started under it record
+// into m's instruments.
+func WithMetrics(ctx context.Context, m *Metrics) context.Context {
+	return context.WithValue(ctx, metricsKey{}, m)
+}
+
+// MetricsFrom returns the Metrics carried by ctx, or nil (a valid no-op
+// receiver) when none is attached.
+func MetricsFrom(ctx context.Context) *Metrics {
+	m, _ := ctx.Value(metricsKey{}).(*Metrics)
+	return m
+}

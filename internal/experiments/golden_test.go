@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// Review the diff before committing — the goldens pin the simulator's
+// numeric output bit-for-bit.
+var update = flag.Bool("update", false, "rewrite the golden experiment files")
+
+// goldenCompare byte-compares the JSON encoding of result against
+// testdata/<name>. Floats marshal as shortest round-trip decimals, so a
+// single-ulp drift anywhere in the virtual-time model changes the bytes
+// and fails the test: any refactor of core, mpi, partition or the
+// algorithm kernels that moves a number must consciously regenerate the
+// goldens with -update.
+func goldenCompare(t *testing.T, name string, result any) {
+	t.Helper()
+	got, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal %s: %v", name, err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s: %v\n"+
+			"generate it with: go test ./internal/experiments -run TestGolden -update", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("experiment output diverges from %s:\n%s\n"+
+			"If this change is intentional, regenerate with:\n"+
+			"  go test ./internal/experiments -run TestGolden -update\n"+
+			"and commit the new golden alongside the change that moved the numbers.",
+			path, firstDiff(want, got))
+	}
+}
+
+// firstDiff renders the first line where want and got disagree, with a
+// line of context, so the failure names the exact number that moved.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: golden %d lines, got %d lines", len(wl), len(gl))
+}
+
+// TestGoldenNetworkSuite pins Tables 5-7 — wall time, COM/SEQ/PAR
+// decomposition and both imbalance metrics for every algorithm variant on
+// all four UMD networks — at the fast-config scale.
+func TestGoldenNetworkSuite(t *testing.T) {
+	res, err := NetworkSuite(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_network_suite.json", res)
+}
+
+// TestGoldenThunderhead pins Table 8 / Figure 2 — execution times and
+// speedups of the heterogeneous algorithms on growing Thunderhead
+// subsets — at the fast-config scale.
+func TestGoldenThunderhead(t *testing.T) {
+	res, err := Thunderhead(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_thunderhead.json", res)
+}

@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/vtime"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format, the
+// interchange format understood by chrome://tracing and Perfetto. Only
+// the fields we emit are declared; ph "X" is a complete event (duration
+// slice), ph "M" carries process/thread metadata such as names.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// secToUs converts virtual seconds to trace microseconds.
+func secToUs(s float64) float64 { return s * 1e6 }
+
+// WriteChromeTrace writes events as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Each rank becomes one
+// thread row (tid rank+1) in a single "virtual cluster" process. Receive
+// events that include a leading idle wait (Event.Wait > 0) are split into
+// an IDLE slice followed by the transfer slice, so the rendered rows show
+// genuine blocking separately from wire time and per-category durations
+// sum to the run's vtime totals.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	const pid = 1
+
+	// Stable output: sort like Trace.Events does, without mutating the
+	// caller's slice.
+	evs := append([]Event(nil), events...)
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].Start != evs[b].Start {
+			return evs[a].Start < evs[b].Start
+		}
+		if evs[a].Rank != evs[b].Rank {
+			return evs[a].Rank < evs[b].Rank
+		}
+		return evs[a].Kind < evs[b].Kind
+	})
+
+	ranks := map[int]bool{}
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  pid,
+		Args: map[string]any{"name": "virtual cluster"},
+	})
+
+	emit := func(e Event, name, cat string, start, dur float64, args map[string]any) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name,
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   secToUs(start),
+			Dur:  secToUs(dur),
+			Pid:  pid,
+			Tid:  e.Rank + 1,
+			Args: args,
+		})
+	}
+
+	for _, e := range evs {
+		ranks[e.Rank] = true
+		switch e.Kind {
+		case EventSend:
+			emit(e, fmt.Sprintf("send tag=%d to p%d", e.Tag, e.Peer+1), vtime.Com.String(),
+				e.Start, e.Dur,
+				map[string]any{"tag": e.Tag, "peer": e.Peer, "bytes": e.Bytes})
+		case EventRecv:
+			start := e.Start
+			if e.Wait > 0 {
+				emit(e, fmt.Sprintf("wait tag=%d from p%d", e.Tag, e.Peer+1), vtime.Idle.String(),
+					start, e.Wait,
+					map[string]any{"tag": e.Tag, "peer": e.Peer})
+				start += e.Wait
+			}
+			emit(e, fmt.Sprintf("recv tag=%d from p%d", e.Tag, e.Peer+1), vtime.Com.String(),
+				start, e.Dur-e.Wait,
+				map[string]any{"tag": e.Tag, "peer": e.Peer, "bytes": e.Bytes})
+		default:
+			emit(e, e.Kind.String(), e.Cat.String(), e.Start, e.Dur, nil)
+		}
+	}
+
+	// Thread metadata after the slices so ranks is complete; Perfetto
+	// applies metadata regardless of position.
+	tids := make([]int, 0, len(ranks))
+	for r := range ranks {
+		tids = append(tids, r)
+	}
+	sort.Ints(tids)
+	for _, r := range tids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  pid,
+			Tid:  r + 1,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d (p%d)", r, r+1)},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

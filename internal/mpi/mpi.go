@@ -187,12 +187,25 @@ func (w *World) Network() *platform.Network { return w.net }
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.net.Size() }
 
+// RankCounters aggregates one rank's message and compute activity over a
+// run: the raw material behind the telemetry layer's per-rank MPI
+// counters. Bytes reflect the sizes the algorithms charged (data scale
+// included); Flops reflect the flops charged (compute scale included).
+type RankCounters struct {
+	Sends, Recvs      int
+	BytesSent         int64
+	BytesRecv         int64
+	Computes, Elapses int
+	Flops             float64
+}
+
 // Comm is one rank's endpoint into the world. It is created by Run and
 // confined to the goroutine simulating that rank.
 type Comm struct {
 	world *World
 	rank  int
 	clock *vtime.Clock
+	ctr   RankCounters
 
 	// crashAt is the virtual time at which an injected fault kills this
 	// rank; meaningful only when hasCrash is set.
@@ -257,6 +270,8 @@ func (c *Comm) chargeCompute(flops float64, cat vtime.Category) {
 	c.world.checkAborted()
 	c.checkFailed()
 	start := c.clock.Now()
+	c.ctr.Computes++
+	c.ctr.Flops += flops
 	c.clock.ComputeDegraded(flops, c.computeFactor(), cat)
 	c.checkFailed()
 	c.world.trace.add(Event{Rank: c.rank, Kind: EventCompute, Peer: -1, Start: start, Dur: c.clock.Now() - start, Cat: cat})
@@ -274,6 +289,7 @@ func (c *Comm) Elapse(d float64, cat vtime.Category) {
 	c.world.checkAborted()
 	c.checkFailed()
 	start := c.clock.Now()
+	c.ctr.Elapses++
 	c.clock.Add(d*c.computeFactor(), cat)
 	c.checkFailed()
 	c.world.trace.add(Event{Rank: c.rank, Kind: EventElapse, Peer: -1, Start: start, Dur: c.clock.Now() - start, Cat: cat})
@@ -298,6 +314,8 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	ready := c.clock.Now()
 	cost := c.world.net.TransferTime(bytes, c.rank, dst) *
 		c.world.faults.LinkFactor(c.world.attempt, c.rank, dst, ready)
+	c.ctr.Sends++
+	c.ctr.BytesSent += int64(bytes)
 	c.clock.Add(cost, vtime.Com)
 	c.checkFailed()
 	c.world.trace.add(Event{Rank: c.rank, Kind: EventSend, Tag: tag, Peer: dst, Bytes: bytes, Start: ready, Dur: cost, Cat: vtime.Com})
@@ -336,10 +354,13 @@ func (c *Comm) Recv(src, tag int) any {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
 	}
 	start := c.clock.Now()
-	c.clock.AdvanceTo(m.ready, vtime.Idle)  // waiting for the peer to produce the data
+	c.ctr.Recvs++
+	c.ctr.BytesRecv += int64(m.bytes)
+	c.clock.AdvanceTo(m.ready, vtime.Idle) // waiting for the peer to produce the data
+	wait := c.clock.Now() - start
 	c.clock.AdvanceTo(m.arrival, vtime.Com) // the transfer itself
 	c.checkFailed()
-	c.world.trace.add(Event{Rank: c.rank, Kind: EventRecv, Tag: m.tag, Peer: src, Bytes: m.bytes, Start: start, Dur: c.clock.Now() - start, Cat: vtime.Com})
+	c.world.trace.add(Event{Rank: c.rank, Kind: EventRecv, Tag: m.tag, Peer: src, Bytes: m.bytes, Start: start, Dur: c.clock.Now() - start, Wait: wait, Cat: vtime.Com})
 	return m.payload
 }
 
@@ -438,6 +459,9 @@ type RunResult struct {
 	Values []any
 	// Clocks holds each rank's final clock snapshot, indexed by rank.
 	Clocks []vtime.Snapshot
+	// Counters holds each rank's message and compute counters, indexed
+	// by rank.
+	Counters []RankCounters
 }
 
 // Root returns rank 0's return value.
@@ -501,8 +525,9 @@ type Program func(c *Comm) any
 func (w *World) Run(program Program) (result *RunResult, err error) {
 	p := w.Size()
 	res := &RunResult{
-		Values: make([]any, p),
-		Clocks: make([]vtime.Snapshot, p),
+		Values:   make([]any, p),
+		Clocks:   make([]vtime.Snapshot, p),
+		Counters: make([]RankCounters, p),
 	}
 	errs := make([]error, p)
 	var wg sync.WaitGroup
@@ -527,6 +552,7 @@ func (w *World) Run(program Program) (result *RunResult, err error) {
 					w.fail()
 				}
 				res.Clocks[rank] = c.clock.Snapshot()
+				res.Counters[rank] = c.ctr
 			}()
 			res.Values[rank] = program(c)
 		}(rank)

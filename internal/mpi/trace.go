@@ -49,7 +49,11 @@ type Event struct {
 	Bytes int     // message size (sends/receives)
 	Start float64 // virtual time when the activity began
 	Dur   float64 // virtual duration
-	Cat   vtime.Category
+	// Wait is the leading idle portion of a receive (time spent blocked
+	// before the sender was ready); Dur - Wait is the transfer itself.
+	// Zero for every other kind.
+	Wait float64
+	Cat  vtime.Category
 }
 
 // Trace collects events from every rank of a world. Collection is

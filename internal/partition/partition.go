@@ -20,6 +20,7 @@ package partition
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/platform"
@@ -44,11 +45,23 @@ const MemoryFraction = 0.5
 
 // MaxLines returns the largest number of image lines (of the given
 // samples x bands geometry, float32 samples) that fit in the processor's
-// memory bound.
+// memory bound. Degenerate geometries and non-positive budgets yield 0;
+// the result is clamped to MaxInt32, so the arithmetic stays in float64
+// and cannot overflow however large the declared memory is.
 func MaxLines(p platform.Processor, samples, bands int) int {
-	bytesPerLine := samples * bands * 4
+	if samples <= 0 || bands <= 0 {
+		return 0
+	}
+	bytesPerLine := float64(samples) * float64(bands) * 4
 	budget := MemoryFraction * float64(p.MemoryMB) * (1 << 20)
-	return int(budget / float64(bytesPerLine))
+	if !(budget > 0) { // also catches NaN
+		return 0
+	}
+	lines := budget / bytesPerLine
+	if lines >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(lines)
 }
 
 // Strategy produces one span per processor for a cube geometry.
@@ -139,8 +152,11 @@ func apportion(total int, weights []float64, caps []int) ([]int, error) {
 	active := make([]bool, n)
 	var wsum float64
 	for i, w := range weights {
-		if w < 0 {
-			return nil, fmt.Errorf("partition: negative weight %v", w)
+		// Non-finite weights (a zero or NaN cycle-time yields ±Inf/NaN
+		// speed) would turn the quota arithmetic into undefined
+		// float-to-int conversions; reject them up front.
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("partition: invalid weight %v", w)
 		}
 		if w > 0 && caps[i] > 0 {
 			active[i] = true
@@ -163,7 +179,10 @@ func apportion(total int, weights []float64, caps []int) ([]int, error) {
 			if !active[i] {
 				continue
 			}
-			quota := float64(remaining) * weights[i] / wsum
+			// Multiply by the ratio, not the raw weight: weights[i]/wsum
+			// is <= 1, so the quota can never overflow float64 even for
+			// extreme (finite) weights.
+			quota := float64(remaining) * (weights[i] / wsum)
 			base := int(quota)
 			room := caps[i] - counts[i]
 			if base > room {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/mpi"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
 
 // Admission and lookup errors.
@@ -406,6 +407,12 @@ type Config struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps the exponential backoff (default 2s).
 	RetryMaxDelay time.Duration
+	// Registry, when non-nil, registers the scheduler's instruments (and
+	// the simulation-level ones of package core) against it: queue depth,
+	// admission rejects, retries, cache hit/miss, per-class job latency
+	// histograms. Instrument names register once, so share a registry
+	// with at most one scheduler.
+	Registry *telemetry.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -457,6 +464,7 @@ type Stats struct {
 type Scheduler struct {
 	cfg   Config
 	cache *resultCache
+	tel   *schedMetrics // nil when Config.Registry is nil
 	wg    sync.WaitGroup
 
 	mu       sync.Mutex
@@ -489,6 +497,9 @@ func New(cfg Config) *Scheduler {
 		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.cache = newResultCache(s.cfg.CacheEntries)
+	if s.cfg.Registry != nil {
+		s.tel = newSchedMetrics(s, s.cfg.Registry)
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -516,11 +527,13 @@ func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	if s.closed {
 		s.ctr.rejected++
 		s.mu.Unlock()
+		s.tel.rejectedInc()
 		return nil, ErrClosed
 	}
 	if s.queuedLocked() >= s.cfg.QueueDepth {
 		s.ctr.rejected++
 		s.mu.Unlock()
+		s.tel.rejectedInc()
 		return nil, ErrQueueFull
 	}
 	timeout := spec.Timeout
@@ -548,6 +561,7 @@ func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	s.evictFinishedLocked()
 	s.cond.Signal()
 	s.mu.Unlock()
+	s.tel.submittedInc()
 
 	// A watcher finishes the job the moment its context dies while it is
 	// still queued, so expired jobs free queue capacity immediately
@@ -739,6 +753,7 @@ func (s *Scheduler) runJob(j *Job) {
 		s.mu.Lock()
 		s.ctr.cacheHits++
 		s.mu.Unlock()
+		s.tel.cacheResult("hit")
 		s.finish(j, StateCompleted, res, nil, true)
 		return
 	}
@@ -746,6 +761,7 @@ func (s *Scheduler) runJob(j *Job) {
 		s.mu.Lock()
 		s.ctr.cacheMisses++
 		s.mu.Unlock()
+		s.tel.cacheResult("miss")
 	}
 
 	j.mu.Lock()
@@ -793,6 +809,7 @@ func (s *Scheduler) runJob(j *Job) {
 		s.mu.Lock()
 		s.ctr.retries++
 		s.mu.Unlock()
+		s.tel.retryInc()
 		if !sleepCtx(j.ctx, backoff) {
 			err = fmt.Errorf("sched: job %s cancelled during retry backoff: %w", j.id, context.Cause(j.ctx))
 			break
@@ -823,16 +840,19 @@ func (s *Scheduler) execute(j *Job, attempt int) (cachedResult, error) {
 	spec := &j.spec
 	params := spec.Params
 	params.FaultAttempt = attempt
+	// The simulation instruments ride the context, not Params: Params is
+	// part of the cache key and must stay a pure value.
+	ctx := core.WithMetrics(j.ctx, s.tel.coreMetrics())
 	switch spec.Mode {
 	case ModeAdaptive:
-		res.adaptive, err = core.RunAdaptiveContext(j.ctx, spec.Network, spec.Cube, params, spec.Adaptive)
+		res.adaptive, err = core.RunAdaptiveContext(ctx, spec.Network, spec.Cube, params, spec.Adaptive)
 		if res.adaptive != nil {
 			res.report = &res.adaptive.RunReport
 		}
 	case ModeSequential:
-		res.report, err = core.RunSequentialContext(j.ctx, spec.CycleTime, spec.Algorithm, spec.Cube, params)
+		res.report, err = core.RunSequentialContext(ctx, spec.CycleTime, spec.Algorithm, spec.Cube, params)
 	default: // ModeRun
-		res.report, err = core.RunContext(j.ctx, spec.Network, spec.Algorithm, spec.Variant, spec.Cube, params)
+		res.report, err = core.RunContext(ctx, spec.Network, spec.Algorithm, spec.Variant, spec.Cube, params)
 	}
 	return res, err
 }
@@ -874,9 +894,11 @@ func (s *Scheduler) finish(j *Job, state State, res cachedResult, err error, fro
 	j.err = err
 	j.fromCache = fromCache
 	j.finishedAt = time.Now()
+	latency := j.finishedAt.Sub(j.submittedAt)
 	j.mu.Unlock()
 	j.cancel() // release the context's timer resources
 	close(j.done)
+	s.tel.jobFinished(state, j.spec.Priority, latency)
 
 	s.mu.Lock()
 	switch state {

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// schedMetrics bundles the scheduler's instruments. A nil *schedMetrics
+// (no Config.Registry) is a valid no-op receiver everywhere, so the
+// scheduler's hot path carries no conditionals beyond a nil check.
+type schedMetrics struct {
+	submitted *telemetry.Counter
+	rejected  *telemetry.Counter
+	retries   *telemetry.Counter
+	cache     *telemetry.CounterVec   // result: hit | miss
+	finished  *telemetry.CounterVec   // state: completed | failed | cancelled
+	latency   *telemetry.HistogramVec // class: batch | interactive
+
+	// core carries the simulation-level instruments; execute attaches it
+	// to each job's context.
+	core *core.Metrics
+}
+
+// newSchedMetrics registers the scheduler's instruments against reg. The
+// queue/running/cache gauges read the scheduler live at scrape time, so
+// they are exact, not sampled. Registering twice against one registry
+// panics by design: share a registry across at most one scheduler.
+func newSchedMetrics(s *Scheduler, reg *telemetry.Registry) *schedMetrics {
+	reg.NewGaugeFunc("hyperhet_sched_queue_depth",
+		"Jobs waiting in the submission queue, both priority classes.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.queuedLocked())
+		})
+	reg.NewGaugeFunc("hyperhet_sched_running",
+		"Jobs currently executing on the worker pool.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.running)
+		})
+	reg.NewGaugeFunc("hyperhet_sched_cache_entries",
+		"Result-cache population.", func() float64 {
+			return float64(s.cache.len())
+		})
+	return &schedMetrics{
+		submitted: reg.NewCounter("hyperhet_sched_submitted_total",
+			"Jobs admitted to the queue."),
+		rejected: reg.NewCounter("hyperhet_sched_rejected_total",
+			"Submissions rejected at admission (queue full or scheduler closed)."),
+		retries: reg.NewCounter("hyperhet_sched_retries_total",
+			"Execution attempts beyond each job's first."),
+		cache: reg.NewCounterVec("hyperhet_sched_cache_requests_total",
+			"Result-cache lookups by cacheable jobs, by outcome.", "result"),
+		finished: reg.NewCounterVec("hyperhet_sched_jobs_finished_total",
+			"Jobs settled, by final state.", "state"),
+		latency: reg.NewHistogramVec("hyperhet_sched_job_seconds",
+			"Job latency from submission to settlement, by priority class.",
+			telemetry.DefBuckets, "class"),
+		core: core.NewMetrics(reg),
+	}
+}
+
+func (m *schedMetrics) submittedInc() {
+	if m == nil {
+		return
+	}
+	m.submitted.Inc()
+}
+
+func (m *schedMetrics) rejectedInc() {
+	if m == nil {
+		return
+	}
+	m.rejected.Inc()
+}
+
+func (m *schedMetrics) retryInc() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+func (m *schedMetrics) cacheResult(outcome string) {
+	if m == nil {
+		return
+	}
+	m.cache.With(outcome).Inc()
+}
+
+func (m *schedMetrics) jobFinished(state State, class Priority, latency time.Duration) {
+	if m == nil {
+		return
+	}
+	m.finished.With(string(state)).Inc()
+	m.latency.With(class.String()).Observe(latency.Seconds())
+}
+
+// coreMetrics returns the simulation instruments to attach to job
+// contexts (nil when telemetry is off, which core treats as a no-op).
+func (m *schedMetrics) coreMetrics() *core.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.core
+}

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestSchedulerMetricsExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Config{Workers: 1, Registry: reg})
+	defer s.Close()
+
+	// Two identical submissions: a miss that runs, then a cache hit.
+	for i := 0; i < 2; i++ {
+		j, err := s.Submit(context.Background(), tinySpec(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), j.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"hyperhet_sched_submitted_total 2",
+		`hyperhet_sched_cache_requests_total{result="hit"} 1`,
+		`hyperhet_sched_cache_requests_total{result="miss"} 1`,
+		`hyperhet_sched_jobs_finished_total{state="completed"} 2`,
+		"hyperhet_sched_queue_depth 0",
+		"hyperhet_sched_running 0",
+		"hyperhet_sched_cache_entries 1",
+		`hyperhet_core_runs_started_total{algorithm="ATDCA"} 1`,
+		"hyperhet_sched_job_seconds_count", // histogram rendered
+		`hyperhet_mpi_flops_total{rank="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `hyperhet_sched_job_seconds_bucket{class="batch",le="+Inf"} 2`) {
+		t.Errorf("latency histogram not counting both jobs:\n%s", out)
+	}
+}
+
+func TestSchedulerMetricsRejects(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Config{Workers: 1, QueueDepth: 1, Registry: reg})
+	release := setGate(s)
+	blocker := tinySpec(t)
+	blocker.Label = "blocker"
+	blocker.NoCache = true
+	jb, err := s.Submit(context.Background(), blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, jb, StateRunning)
+
+	// Fill the queue, then overflow it.
+	spec := tinySpec(t)
+	spec.NoCache = true
+	if _, err := s.Submit(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), spec); err != ErrQueueFull {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	release()
+	s.Close()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hyperhet_sched_rejected_total 1") {
+		t.Errorf("reject not counted:\n%s", b.String())
+	}
+}

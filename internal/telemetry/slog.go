@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler is a slog.Handler middleware that counts every log record
+// by level into a registry counter (hyperhet_log_records_total{level})
+// before delegating to the wrapped handler. It makes "is the service
+// logging errors?" a scrape-time question instead of a log-grep.
+type LogHandler struct {
+	next    slog.Handler
+	records *CounterVec
+}
+
+// NewLogHandler wraps next with record counting against reg.
+func NewLogHandler(reg *Registry, next slog.Handler) *LogHandler {
+	return &LogHandler{
+		next:    next,
+		records: reg.NewCounterVec("hyperhet_log_records_total", "Log records emitted, by level.", "level"),
+	}
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.next.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler: count, then delegate.
+func (h *LogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	h.records.With(rec.Level.String()).Inc()
+	return h.next.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler; the wrapped handler carries the
+// attrs, the counter is shared.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{next: h.next.WithAttrs(attrs), records: h.records}
+}
+
+// WithGroup implements slog.Handler.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{next: h.next.WithGroup(name), records: h.records}
+}
