@@ -5,12 +5,14 @@
 // Usage:
 //
 //	hyperhetd [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	          [-retain N] [-timeout D]
+//	          [-retain N] [-timeout D] [-journal DIR] [-drain-timeout D]
 //
 // Endpoints (JSON unless noted):
 //
 //	POST /submit           submit a job; 202 with {"id": ...} on admission,
-//	                       429 when the bounded queue is full
+//	                       429 when the bounded queue is full, 503 while
+//	                       draining
+//	GET  /jobs             list jobs; ?state= filters, ?limit= caps
 //	GET  /jobs/{id}        job status, including result summary when done
 //	GET  /jobs/{id}/trace  Chrome trace-event JSON of a traced run (submit
 //	                       with "trace": true); load in Perfetto
@@ -19,6 +21,7 @@
 //	GET  /metrics          Prometheus text exposition of every instrument
 //	GET  /debug/pprof/*    Go runtime profiles (only with -pprof)
 //	GET  /healthz          liveness probe
+//	GET  /readyz           readiness probe; 503 while draining
 //
 // A submission names an algorithm, a platform and a scene; the server
 // generates (and caches) synthetic scenes on demand, so a job request is
@@ -37,22 +40,36 @@
 // attempt history:
 //
 //	"faults": {"crashes": [{"rank": 2, "at": 0.5}], "max_attempts": 3}
+//
+// With -journal DIR the server is durable: every job lifecycle edge is
+// appended to an fsync'd write-ahead log, and a restarted server replays
+// it — finished jobs come back as queryable history (completed results
+// re-seed the cache), unfinished jobs are resubmitted under their
+// original IDs and, when checkpointed ("checkpoint": true, or any fault
+// job with a retry budget or recovery), resume from their last completed
+// round. SIGTERM drains gracefully: submissions get 503, running jobs
+// checkpoint and stop without a terminal journal record, and the next
+// boot resumes them.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -68,6 +85,8 @@ func main() {
 		retain  = flag.Int("retain", 1024, "finished jobs kept queryable by id")
 		timeout = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 		pprofOn = flag.Bool("pprof", false, "expose Go runtime profiles at /debug/pprof/")
+		journal = flag.String("journal", "", "job-journal directory; enables durability and crash/restart resume")
+		drainTO = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -79,18 +98,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hyperhetd: -workers, -queue and -retain must be positive")
 		os.Exit(2)
 	}
-	if *timeout < 0 {
-		fmt.Fprintln(os.Stderr, "hyperhetd: -timeout must not be negative")
+	if *timeout < 0 || *drainTO < 0 {
+		fmt.Fprintln(os.Stderr, "hyperhetd: -timeout and -drain-timeout must not be negative")
 		os.Exit(2)
 	}
 
-	srv := newServer(hyperhet.SchedulerConfig{
+	srv, err := newServer(hyperhet.SchedulerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		RetainJobs:     *retain,
 		DefaultTimeout: *timeout,
-	})
+	}, *journal)
+	if err != nil {
+		log.Fatalf("hyperhetd: %v", err)
+	}
 	srv.enablePprof = *pprofOn
 	defer srv.close()
 
@@ -99,6 +121,10 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		// Drain before closing the listener: in-flight and late submissions
+		// see 503 while running jobs checkpoint and step aside, then the
+		// HTTP server itself shuts down.
+		srv.drain(*drainTO)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
@@ -127,10 +153,12 @@ const (
 // server wires the scheduler to the HTTP API.
 type server struct {
 	sched       *hyperhet.Scheduler
+	journal     *hyperhet.SchedJournal // nil without -journal
 	reg         *hyperhet.TelemetryRegistry
 	logger      *slog.Logger
 	start       time.Time
 	enablePprof bool
+	draining    atomic.Bool
 
 	mu     sync.Mutex
 	scenes map[hyperhet.SceneConfig]*sceneEntry
@@ -142,24 +170,117 @@ type sceneEntry struct {
 	digest string
 }
 
-func newServer(cfg hyperhet.SchedulerConfig) *server {
+// newServer builds the server. A non-empty journalDir makes it durable:
+// existing journal records are replayed into the scheduler before the
+// first request is served, then the journal is reopened for appending.
+func newServer(cfg hyperhet.SchedulerConfig, journalDir string) (*server, error) {
 	reg := hyperhet.NewTelemetryRegistry()
 	cfg.Registry = reg
-	return &server{
-		sched: hyperhet.NewScheduler(cfg),
-		reg:   reg,
+	s := &server{
+		reg: reg,
 		logger: slog.New(hyperhet.NewCountingLogHandler(reg,
 			slog.NewTextHandler(os.Stderr, nil))),
 		start:  time.Now(),
 		scenes: make(map[hyperhet.SceneConfig]*sceneEntry),
 	}
+	var recovered []*hyperhet.JournalJob
+	if journalDir != "" {
+		var err error
+		recovered, err = hyperhet.ReplaySchedJournal(journalDir)
+		if err != nil {
+			return nil, fmt.Errorf("replaying journal: %w", err)
+		}
+		s.journal, err = hyperhet.OpenSchedJournal(journalDir)
+		if err != nil {
+			return nil, fmt.Errorf("opening journal: %w", err)
+		}
+		cfg.Journal = s.journal
+	}
+	s.sched = hyperhet.NewScheduler(cfg)
+	s.replay(recovered)
+	return s, nil
 }
 
-func (s *server) close() { s.sched.Close() }
+// replay reinstalls journaled jobs into the fresh scheduler: finished
+// ones as queryable history, unfinished ones as live resubmissions under
+// their original IDs (resuming from their last checkpointed round). A job
+// whose recorded request no longer parses is logged and skipped — replay
+// must never prevent the server from starting.
+func (s *server) replay(jobs []*hyperhet.JournalJob) {
+	for _, jj := range jobs {
+		var req submitRequest
+		if err := json.Unmarshal(jj.Request, &req); err != nil {
+			s.logger.Warn("journal replay: unreadable request", "id", jj.ID, "error", err)
+			continue
+		}
+		spec, sceneCfg, err := parseSubmit(&req)
+		if err != nil {
+			s.logger.Warn("journal replay: bad request", "id", jj.ID, "error", err)
+			continue
+		}
+		if jj.Finished {
+			// History only: no scene materialization, no execution.
+			if _, err := s.sched.RestoreFinished(jj, spec); err != nil {
+				s.logger.Warn("journal replay: restore failed", "id", jj.ID, "error", err)
+			} else {
+				s.logger.Info("journal replay: restored", "id", jj.ID, "state", jj.State)
+			}
+			continue
+		}
+		entry, err := s.scene(sceneCfg)
+		if err != nil {
+			s.logger.Warn("journal replay: scene failed", "id", jj.ID, "error", err)
+			continue
+		}
+		spec.Cube = entry.cube
+		spec.CubeDigest = entry.digest
+		if req.Scaled {
+			spec.Params = hyperhet.ScaledParams(spec.Params, sceneCfg)
+		}
+		spec.JournalPayload = jj.Request
+		if _, err := s.sched.SubmitResumed(context.Background(), jj, spec); err != nil {
+			s.logger.Warn("journal replay: resume failed", "id", jj.ID, "error", err)
+			continue
+		}
+		round := 0
+		if jj.Snapshot != nil {
+			round = jj.Snapshot.Round
+		}
+		s.logger.Info("journal replay: resumed", "id", jj.ID, "attempts", jj.Attempts, "round", round)
+	}
+}
+
+// drain shuts the scheduler down gracefully ahead of process exit:
+// submissions are rejected, running jobs checkpoint and stop WITHOUT a
+// terminal journal record (the next boot resumes them), and the journal
+// is closed once the scheduler settles or the deadline passes.
+func (s *server) drain(timeout time.Duration) {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.sched.Drain()
+		close(done)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		s.logger.Info("drain complete")
+	case <-timer.C:
+		s.logger.Warn("drain deadline passed; exiting anyway", "timeout", timeout)
+	}
+	s.journal.Close()
+}
+
+func (s *server) close() {
+	s.sched.Close()
+	s.journal.Close()
+}
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
@@ -167,6 +288,16 @@ func (s *server) routes() http.Handler {
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	// Readiness is distinct from liveness: a draining server is still
+	// alive (health checks pass, status queries answer) but must be
+	// rotated out of load balancing before it exits.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	if s.enablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -180,22 +311,27 @@ func (s *server) routes() http.Handler {
 
 // submitRequest is the body of POST /submit.
 type submitRequest struct {
-	Algorithm string        `json:"algorithm"`
-	Variant   string        `json:"variant"`    // hetero (default) or homo
-	Mode      string        `json:"mode"`       // run (default), adaptive, sequential
-	Network   string        `json:"network"`    // fully-het, fully-homo, part-het, part-homo, thunderhead
-	CPUs      int           `json:"cpus"`       // thunderhead node count
-	CycleTime float64       `json:"cycle_time"` // sequential-mode processor speed
-	Priority  string        `json:"priority"`   // interactive or batch (default)
-	TimeoutMS int64         `json:"timeout_ms"`
-	Targets   int           `json:"targets"`
-	Classes   int           `json:"classes"`
-	Scaled    bool          `json:"scaled"` // charge full-scene work via ScaledParams
-	Trace     bool          `json:"trace"`  // record the run's virtual-time events for /jobs/{id}/trace
-	Label     string        `json:"label"`
-	NoCache   bool          `json:"no_cache"`
-	Scene     sceneRequest  `json:"scene"`
-	Faults    *faultRequest `json:"faults"`
+	Algorithm string  `json:"algorithm"`
+	Variant   string  `json:"variant"`    // hetero (default) or homo
+	Mode      string  `json:"mode"`       // run (default), adaptive, sequential
+	Network   string  `json:"network"`    // fully-het, fully-homo, part-het, part-homo, thunderhead
+	CPUs      int     `json:"cpus"`       // thunderhead node count
+	CycleTime float64 `json:"cycle_time"` // sequential-mode processor speed
+	Priority  string  `json:"priority"`   // interactive or batch (default)
+	TimeoutMS int64   `json:"timeout_ms"`
+	Targets   int     `json:"targets"`
+	Classes   int     `json:"classes"`
+	Scaled    bool    `json:"scaled"` // charge full-scene work via ScaledParams
+	Trace     bool    `json:"trace"`  // record the run's virtual-time events for /jobs/{id}/trace
+	Label     string  `json:"label"`
+	NoCache   bool    `json:"no_cache"`
+	// Checkpoint enables round-boundary checkpointing: retries (and,
+	// with -journal, post-restart re-runs) resume from the last completed
+	// round instead of round zero. Implied for fault jobs that can retry
+	// or recover. Checkpointed jobs bypass the result cache.
+	Checkpoint bool          `json:"checkpoint"`
+	Scene      sceneRequest  `json:"scene"`
+	Faults     *faultRequest `json:"faults"`
 }
 
 // faultRequest injects a deterministic failure plan into the run: either
@@ -222,8 +358,20 @@ type sceneRequest struct {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	// Read the raw document before decoding: the verbatim body is what the
+	// journal records, so a restarted server re-parses exactly what the
+	// client sent.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
 	var req submitRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -246,6 +394,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec.CubeDigest = entry.digest
 	if req.Scaled {
 		spec.Params = hyperhet.ScaledParams(spec.Params, sceneCfg)
+	}
+	if s.journal != nil {
+		spec.JournalPayload = body
 	}
 	// Jobs outlive the submit request: derive from Background, not
 	// r.Context(), which dies as soon as this handler returns.
@@ -329,6 +480,7 @@ func parseSubmit(req *submitRequest) (hyperhet.JobSpec, hyperhet.SceneConfig, er
 	spec.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	spec.Label = req.Label
 	spec.NoCache = req.NoCache
+	spec.Checkpoint = req.Checkpoint
 
 	spec.Params = hyperhet.DefaultParams()
 	spec.Params.Trace = req.Trace
@@ -370,6 +522,12 @@ func parseSubmit(req *submitRequest) (hyperhet.JobSpec, hyperhet.SceneConfig, er
 		spec.Params.Faults = plan
 		spec.Params.Recovery = hyperhet.RecoveryOptions{Enabled: req.Faults.Recovery}
 		spec.MaxAttempts = req.Faults.MaxAttempts
+		// A fault job that may re-run — scheduler retries or in-run
+		// recovery — checkpoints by default, so the second pass resumes
+		// instead of recomputing (fault jobs never cache anyway).
+		if req.Faults.MaxAttempts > 1 || req.Faults.Recovery {
+			spec.Checkpoint = true
+		}
 	}
 	return spec, sceneCfg, nil
 }
@@ -478,6 +636,55 @@ type resultSummary struct {
 	RunAttempts      int     `json:"run_attempts,omitempty"`
 	FailedRanks      []int   `json:"failed_ranks,omitempty"`
 	RecoveryOverhead float64 `json:"recovery_overhead_seconds,omitempty"`
+	// Checkpoint bookkeeping of a checkpointed run: the round the
+	// successful attempt resumed from (0 = from scratch), the snapshots
+	// written, and the virtual seconds spent on checkpoint I/O.
+	ResumedFromRound   int     `json:"resumed_from_round,omitempty"`
+	CheckpointSaves    int     `json:"checkpoint_saves,omitempty"`
+	CheckpointOverhead float64 `json:"checkpoint_overhead_seconds,omitempty"`
+}
+
+// maxJobsListing caps GET /jobs responses; pass ?limit= for less.
+const maxJobsListing = 500
+
+// handleJobs lists the jobs the scheduler knows — queued, running and
+// retained finished — oldest first, optionally filtered by ?state= and
+// capped by ?limit=.
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var filter hyperhet.JobState
+	if v := r.URL.Query().Get("state"); v != "" {
+		switch st := hyperhet.JobState(v); st {
+		case hyperhet.JobQueued, hyperhet.JobRunning, hyperhet.JobCompleted,
+			hyperhet.JobFailed, hyperhet.JobCancelled:
+			filter = st
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown state %q", v))
+			return
+		}
+	}
+	limit := maxJobsListing
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v))
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	statuses := []hyperhet.JobStatus{}
+	for _, job := range s.sched.Jobs() {
+		st := job.Status()
+		if filter != "" && st.State != filter {
+			continue
+		}
+		statuses = append(statuses, st)
+		if len(statuses) >= limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses, "count": len(statuses)})
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -507,6 +714,11 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 			sum.RunAttempts = rep.Attempts
 			sum.FailedRanks = rep.FailedRanks
 			sum.RecoveryOverhead = rep.RecoveryOverhead
+		}
+		if rep.CheckpointSaves > 0 || rep.ResumedFromRound > 0 {
+			sum.ResumedFromRound = rep.ResumedFromRound
+			sum.CheckpointSaves = rep.CheckpointSaves
+			sum.CheckpointOverhead = rep.CheckpointOverhead
 		}
 		resp.Result = sum
 	}

@@ -20,7 +20,10 @@ func testServer(t *testing.T, cfg hyperhet.SchedulerConfig) *httptest.Server {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 16
 	}
-	srv := newServer(cfg)
+	srv, err := newServer(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(func() {
 		ts.Close()

@@ -173,7 +173,10 @@ func TestTraceEndpointUntracedAndUnknown(t *testing.T) {
 }
 
 func TestPprofBehindFlag(t *testing.T) {
-	srv := newServer(hyperhet.SchedulerConfig{Workers: 1})
+	srv, err := newServer(hyperhet.SchedulerConfig{Workers: 1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.close()
 
 	off := httptest.NewServer(srv.routes())

@@ -27,6 +27,7 @@ import (
 	"log/slog"
 
 	"repro/internal/algo"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/experiments"
@@ -335,6 +336,57 @@ func ParseJobPriority(s string) (JobPriority, error) { return sched.ParsePriorit
 // SchedCubeDigest returns the scene component of the scheduler's result
 // cache key; precompute it when submitting one cube many times.
 func SchedCubeDigest(f *Cube) string { return sched.CubeDigest(f) }
+
+// Durability: round-boundary checkpoint/resume for the run drivers, and
+// the scheduler's append-only job journal behind hyperhetd's -journal
+// flag. Attach a Checkpointer to a run context with WithCheckpointer (or
+// set JobSpec.Checkpoint on a scheduler job) and an interrupted execution
+// resumes from its last completed round instead of round zero; pair the
+// scheduler with a journal (SchedulerConfig.Journal) and the whole job
+// table — finished results and in-flight resume state — survives a
+// process restart.
+type (
+	// Checkpointer stores and serves master round-state snapshots.
+	Checkpointer = checkpoint.Checkpointer
+	// CheckpointSnapshot is one saved master round state.
+	CheckpointSnapshot = checkpoint.Snapshot
+	// CheckpointMemStore is an in-memory Checkpointer (zero value ready),
+	// the store behind scheduler-level retries.
+	CheckpointMemStore = checkpoint.MemStore
+	// CheckpointFileStore is a Checkpointer over an atomically-replaced
+	// file, for resume across processes without a scheduler.
+	CheckpointFileStore = checkpoint.FileStore
+	// SchedJournal is the scheduler's append-only, fsync-per-record job
+	// journal; pass it via SchedulerConfig.Journal.
+	SchedJournal = sched.Journal
+	// JournalJob is one job's folded journal story from a replay: feed
+	// unfinished ones to Scheduler.SubmitResumed and finished ones to
+	// Scheduler.RestoreFinished.
+	JournalJob = sched.JournalJob
+)
+
+// WithCheckpointer attaches a checkpoint store to a run context: the run
+// then saves a snapshot at every completed round and, when the store
+// already holds one, resumes from it (RunReport.ResumedFromRound).
+func WithCheckpointer(ctx context.Context, ck Checkpointer) context.Context {
+	return core.WithCheckpointer(ctx, ck)
+}
+
+// NewCheckpointFileStore opens (creating as needed) a file-backed
+// checkpoint store in dir.
+func NewCheckpointFileStore(dir string) (*CheckpointFileStore, error) {
+	return checkpoint.NewFileStore(dir)
+}
+
+// OpenSchedJournal opens (creating as needed) the scheduler job journal
+// in dir, positioned for appending. Replay existing records first with
+// ReplaySchedJournal; close the journal after the scheduler.
+func OpenSchedJournal(dir string) (*SchedJournal, error) { return sched.OpenJournal(dir) }
+
+// ReplaySchedJournal folds the journal in dir into per-job stories. A
+// missing journal yields (nil, nil); a torn tail truncates the readable
+// log without error.
+func ReplaySchedJournal(dir string) ([]*JournalJob, error) { return sched.ReplayJournal(dir) }
 
 // Telemetry: dependency-free instrumentation behind hyperhetd's /metrics
 // endpoint. Pass a registry to SchedulerConfig.Registry to instrument a

@@ -18,6 +18,7 @@ package algo
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cube"
 	"repro/internal/linalg"
 	"repro/internal/mpi"
@@ -34,6 +35,7 @@ const (
 	tagPartial
 	tagLabels
 	tagSpans
+	tagResume
 )
 
 // DetectionParams configures the target detection algorithms.
@@ -46,6 +48,11 @@ type DetectionParams struct {
 	// virtual-time model. Reduced-scene experiments set it to the paper's
 	// 224; see mpi.Comm.ComputeFixed.
 	EquivalentBands int
+	// Checkpoint, when non-nil, saves the master's target list after every
+	// completed round and resumes from the store's latest snapshot instead
+	// of round zero. Nil disables checkpointing with zero protocol or
+	// virtual-time change.
+	Checkpoint checkpoint.Checkpointer
 }
 
 // eqBands returns the band count used for master-side fixed charges.

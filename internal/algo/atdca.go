@@ -73,25 +73,46 @@ func ATDCAParallel(c *mpi.Comm, f *cube.Cube, params DetectionParams, strat part
 	}
 	bands := geom[2]
 
-	// Round 0: brightest pixel. Workers scan their partitions in
-	// parallel and send their champion to the master.
-	cand := localBrightest(c, part)
-	cands := mpi.GatherAs(c, 0, tagCandidate, cand, candidateBytes(bands))
-
 	var res *DetectionResult
 	var u uMatrix
+	start := 0
 	if c.Root() {
-		res = &DetectionResult{}
-		// The master re-applies the brightness criterion to the
-		// candidates (argmax over the spatial locations provided by the
-		// workers) — sequential work at the root.
-		best := pickBrightest(c, cands)
-		res.Targets = append(res.Targets, best)
-		u.rows = append(u.rows, toF64(best.Signature))
+		if targets := restoreTargets(c, params.Checkpoint, ckptATDCA, t); len(targets) > 0 {
+			res = &DetectionResult{Targets: targets}
+			for _, tg := range targets {
+				u.rows = append(u.rows, toF64(tg.Signature))
+			}
+			start = len(targets)
+		}
+	}
+	if params.Checkpoint != nil {
+		// Workers learn the master's resume round so every rank executes
+		// the same remaining protocol rounds.
+		start = syncResume(c, start)
+	}
+
+	if start == 0 {
+		// Round 0: brightest pixel. Workers scan their partitions in
+		// parallel and send their champion to the master.
+		cand := localBrightest(c, part)
+		cands := mpi.GatherAs(c, 0, tagCandidate, cand, candidateBytes(bands))
+		if c.Root() {
+			res = &DetectionResult{}
+			// The master re-applies the brightness criterion to the
+			// candidates (argmax over the spatial locations provided by the
+			// workers) — sequential work at the root.
+			best := pickBrightest(c, cands)
+			res.Targets = append(res.Targets, best)
+			u.rows = append(u.rows, toF64(best.Signature))
+			if err := saveTargets(c, params.Checkpoint, ckptATDCA, res.Targets); err != nil {
+				return nil, err
+			}
+		}
+		start = 1
 	}
 	u = broadcastU(c, u, bands)
 
-	for round := 1; round < t; round++ {
+	for round := start; round < t; round++ {
 		// Workers: build the projector for the current U and scan the
 		// local partition for the maximum orthogonal projection.
 		cand, err := localMaxProjection(c, part, u, bands)
@@ -106,6 +127,9 @@ func ATDCAParallel(c *mpi.Comm, f *cube.Cube, params DetectionParams, strat part
 			}
 			res.Targets = append(res.Targets, best)
 			u.rows = append(u.rows, toF64(best.Signature))
+			if err := saveTargets(c, params.Checkpoint, ckptATDCA, res.Targets); err != nil {
+				return nil, err
+			}
 		}
 		u = broadcastU(c, u, bands)
 	}

@@ -1,0 +1,336 @@
+package algo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+)
+
+// This file is the algorithms' side of package checkpoint: the per-
+// algorithm payload codecs and the save/restore protocol at round
+// boundaries. Checkpointing is entirely opt-in — with a nil Checkpointer
+// every algorithm runs the exact original protocol, message for message —
+// and entirely master-side: workers never touch the store, they only learn
+// the resume round through one extra broadcast so all ranks execute the
+// same remaining rounds.
+
+// Algorithm names stamped into snapshots; restores reject snapshots from a
+// different algorithm.
+const (
+	ckptATDCA = "ATDCA"
+	ckptUFCLS = "UFCLS"
+	ckptPCT   = "PCT"
+	ckptMORPH = "MORPH"
+)
+
+// syncResume distributes the master's resume decision to every rank. It
+// costs one tiny broadcast, charged only when checkpointing is enabled.
+func syncResume(c *mpi.Comm, round int) int {
+	return c.Bcast(0, tagResume, round, 8).(int)
+}
+
+// saveTargets checkpoints the detector's target list after a completed
+// round and charges the write on the master's clock. Root only; a nil
+// checkpointer is a no-op.
+func saveTargets(c *mpi.Comm, ck checkpoint.Checkpointer, alg string, targets []Target) error {
+	if ck == nil {
+		return nil
+	}
+	payload := encodeTargets(targets)
+	s := checkpoint.Snapshot{Algorithm: alg, Round: len(targets), Payload: payload}
+	if err := ck.Save(s); err != nil {
+		return fmt.Errorf("algo: checkpointing %s round %d: %w", alg, s.Round, err)
+	}
+	c.Checkpoint(len(payload), checkpoint.SaveCost(len(payload)))
+	return nil
+}
+
+// restoreTargets seeds a detector from the latest snapshot, returning the
+// recovered target list clamped to at most maxTargets (a snapshot from a
+// larger run resumes the smaller one exactly at its final round). Any
+// problem — no snapshot, wrong algorithm, undecodable payload — restores
+// nothing: the run falls back to round zero. Root only.
+func restoreTargets(c *mpi.Comm, ck checkpoint.Checkpointer, alg string, maxTargets int) []Target {
+	if ck == nil {
+		return nil
+	}
+	snap, ok := ck.Latest()
+	if !ok || snap.Algorithm != alg {
+		return nil
+	}
+	targets, err := decodeTargets(snap.Payload)
+	if err != nil || len(targets) == 0 {
+		return nil
+	}
+	if len(targets) > maxTargets {
+		targets = targets[:maxTargets]
+	}
+	c.Checkpoint(len(snap.Payload), checkpoint.RestoreCost(len(snap.Payload)))
+	return targets
+}
+
+// savePCTState checkpoints the PCT master phase — everything the step-7
+// broadcast carries — so a resumed run skips the statistics and
+// eigendecomposition phases entirely. Root only.
+func savePCTState(c *mpi.Comm, ck checkpoint.Checkpointer, msg pctBcastMsg) error {
+	if ck == nil {
+		return nil
+	}
+	payload := encodePCTState(msg)
+	if err := ck.Save(checkpoint.Snapshot{Algorithm: ckptPCT, Round: 1, Payload: payload}); err != nil {
+		return fmt.Errorf("algo: checkpointing PCT phase: %w", err)
+	}
+	c.Checkpoint(len(payload), checkpoint.SaveCost(len(payload)))
+	return nil
+}
+
+// restorePCTState recovers the step-7 state if a valid PCT snapshot for
+// this scene geometry exists. Root only.
+func restorePCTState(c *mpi.Comm, ck checkpoint.Checkpointer, bands int) (pctBcastMsg, bool) {
+	if ck == nil {
+		return pctBcastMsg{}, false
+	}
+	snap, ok := ck.Latest()
+	if !ok || snap.Algorithm != ckptPCT {
+		return pctBcastMsg{}, false
+	}
+	msg, err := decodePCTState(snap.Payload)
+	if err != nil || msg.t.Cols != bands || len(msg.mean) != bands {
+		return pctBcastMsg{}, false
+	}
+	c.Checkpoint(len(snap.Payload), checkpoint.RestoreCost(len(snap.Payload)))
+	return msg, true
+}
+
+// saveEndmembers checkpoints the MORPH master phase — the fused endmember
+// set of step 3 — so a resumed run skips the AMEE iterations and the
+// fusion. Root only.
+func saveEndmembers(c *mpi.Comm, ck checkpoint.Checkpointer, endmembers [][]float32) error {
+	if ck == nil {
+		return nil
+	}
+	payload := encodeSigs(endmembers)
+	if err := ck.Save(checkpoint.Snapshot{Algorithm: ckptMORPH, Round: 1, Payload: payload}); err != nil {
+		return fmt.Errorf("algo: checkpointing MORPH phase: %w", err)
+	}
+	c.Checkpoint(len(payload), checkpoint.SaveCost(len(payload)))
+	return nil
+}
+
+// restoreEndmembers recovers the fused endmember set if a valid MORPH
+// snapshot for this band count exists. Root only.
+func restoreEndmembers(c *mpi.Comm, ck checkpoint.Checkpointer, bands int) ([][]float32, bool) {
+	if ck == nil {
+		return nil, false
+	}
+	snap, ok := ck.Latest()
+	if !ok || snap.Algorithm != ckptMORPH {
+		return nil, false
+	}
+	endmembers, err := decodeSigs(snap.Payload)
+	if err != nil || len(endmembers) == 0 {
+		return nil, false
+	}
+	for _, em := range endmembers {
+		if len(em) != bands {
+			return nil, false
+		}
+	}
+	c.Checkpoint(len(snap.Payload), checkpoint.RestoreCost(len(snap.Payload)))
+	return endmembers, true
+}
+
+// Payload codecs. Little-endian, length-prefixed throughout; the outer
+// checkpoint frame already carries the checksum, so these only need to be
+// structurally safe against a frame that passed its CRC but was produced
+// by a different run shape.
+
+// enc is an append-only primitive writer.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v int)     { e.b = binary.LittleEndian.AppendUint32(e.b, uint32(v)) }
+func (e *enc) f64(v float64) { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) f32s(v []float32) {
+	e.u32(len(v))
+	for _, x := range v {
+		e.b = binary.LittleEndian.AppendUint32(e.b, math.Float32bits(x))
+	}
+}
+func (e *enc) f64s(v []float64) {
+	e.u32(len(v))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+// dec walks a payload with a saturating error flag so the codecs read as
+// straight-line code; any out-of-bounds read marks the whole decode bad.
+type dec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *dec) u32() int {
+	if d.bad || len(d.b) < 4 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return int(v)
+}
+
+func (d *dec) f64() float64 {
+	if d.bad || len(d.b) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) f32s() []float32 {
+	n := d.u32()
+	if d.bad || n < 0 || len(d.b) < 4*n {
+		d.bad = true
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.b[4*i:]))
+	}
+	d.b = d.b[4*n:]
+	return out
+}
+
+func (d *dec) f64s() []float64 {
+	n := d.u32()
+	if d.bad || n < 0 || len(d.b) < 8*n {
+		d.bad = true
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[8*i:]))
+	}
+	d.b = d.b[8*n:]
+	return out
+}
+
+func (d *dec) done() error {
+	if d.bad {
+		return fmt.Errorf("algo: truncated checkpoint payload")
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("algo: %d trailing bytes in checkpoint payload", len(d.b))
+	}
+	return nil
+}
+
+// encodeTargets serializes a detector's target list.
+func encodeTargets(targets []Target) []byte {
+	var e enc
+	e.u32(len(targets))
+	for _, tg := range targets {
+		e.u32(tg.Line)
+		e.u32(tg.Sample)
+		e.f64(tg.Score)
+		e.f32s(tg.Signature)
+	}
+	return e.b
+}
+
+func decodeTargets(b []byte) ([]Target, error) {
+	d := dec{b: b}
+	n := d.u32()
+	var out []Target
+	for i := 0; i < n && !d.bad; i++ {
+		tg := Target{Line: d.u32(), Sample: d.u32(), Score: d.f64(), Signature: d.f32s()}
+		out = append(out, tg)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// encodePCTState serializes the step-7 broadcast message.
+func encodePCTState(msg pctBcastMsg) []byte {
+	var e enc
+	e.u32(msg.t.Rows)
+	e.u32(msg.t.Cols)
+	for _, x := range msg.t.Data {
+		e.f64(x)
+	}
+	e.f64s(msg.mean)
+	e.u32(len(msg.reduced))
+	for _, r := range msg.reduced {
+		e.f64s(r)
+	}
+	e.u32(len(msg.classes))
+	for _, cl := range msg.classes {
+		e.f32s(cl)
+	}
+	return e.b
+}
+
+func decodePCTState(b []byte) (pctBcastMsg, error) {
+	d := dec{b: b}
+	rows, cols := d.u32(), d.u32()
+	if d.bad || rows < 1 || cols < 1 || len(d.b) < 8*rows*cols {
+		return pctBcastMsg{}, fmt.Errorf("algo: implausible PCT transform shape %dx%d", rows, cols)
+	}
+	t := linalg.NewMat(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = d.f64()
+	}
+	msg := pctBcastMsg{t: t, mean: d.f64s()}
+	nr := d.u32()
+	for i := 0; i < nr && !d.bad; i++ {
+		msg.reduced = append(msg.reduced, d.f64s())
+	}
+	nc := d.u32()
+	for i := 0; i < nc && !d.bad; i++ {
+		msg.classes = append(msg.classes, d.f32s())
+	}
+	if err := d.done(); err != nil {
+		return pctBcastMsg{}, err
+	}
+	if len(msg.reduced) != len(msg.classes) {
+		return pctBcastMsg{}, fmt.Errorf("algo: PCT snapshot has %d reduced vectors for %d classes", len(msg.reduced), len(msg.classes))
+	}
+	for _, r := range msg.reduced {
+		if len(r) != rows {
+			return pctBcastMsg{}, fmt.Errorf("algo: PCT snapshot reduced vector has %d components, want %d", len(r), rows)
+		}
+	}
+	return msg, nil
+}
+
+// encodeSigs serializes a list of spectral signatures.
+func encodeSigs(sigs [][]float32) []byte {
+	var e enc
+	e.u32(len(sigs))
+	for _, s := range sigs {
+		e.f32s(s)
+	}
+	return e.b
+}
+
+func decodeSigs(b []byte) ([][]float32, error) {
+	d := dec{b: b}
+	n := d.u32()
+	var out [][]float32
+	for i := 0; i < n && !d.bad; i++ {
+		out = append(out, d.f32s())
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cube"
 	"repro/internal/morph"
 	"repro/internal/mpi"
@@ -50,6 +51,11 @@ type MorphParams struct {
 	// policy its measurements used; its Thunderhead scaling suggests
 	// something close to this one (see DESIGN.md).
 	MinimalHalo bool
+	// Checkpoint, when non-nil, saves the fused endmember set after the
+	// master's step-3 fusion and resumes from it, skipping the AMEE
+	// iterations entirely. Nil disables checkpointing with zero protocol
+	// or virtual-time change.
+	Checkpoint checkpoint.Checkpointer
 }
 
 // minSupportCount converts the support floor into a pixel count.
@@ -281,6 +287,64 @@ func MorphParallel(c *mpi.Comm, f *cube.Cube, params MorphParams, strat partitio
 		return nil, err
 	}
 	samples := geom[1]
+
+	// Resume: a valid phase snapshot carries the fused endmember set of
+	// step 3, so the run skips the AMEE iterations — by far the heaviest
+	// phase — and goes straight to labeling.
+	var endmembers [][]float32
+	resumed := 0
+	if c.Root() {
+		if em, ok := restoreEndmembers(c, params.Checkpoint, geom[2]); ok {
+			endmembers, resumed = em, 1
+		}
+	}
+	if params.Checkpoint != nil {
+		resumed = syncResume(c, resumed)
+	}
+	if resumed == 0 {
+		endmembers, err = morphComputePhase(c, part, params, geom)
+		if err != nil {
+			return nil, err
+		}
+		if c.Root() {
+			if err := saveEndmembers(c, params.Checkpoint, endmembers); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Step 4: broadcast the unique set; every worker labels its owned
+	// pixels by SAD.
+	var emBytes int
+	if c.Root() {
+		emBytes = len(endmembers) * 4 * geom[2]
+	}
+	emAny := c.Bcast(0, tagBroadcast, endmembers, emBytes)
+	endmembers = emAny.([][]float32)
+
+	var localLabels []int
+	own, err := part.OwnedView()
+	if err != nil {
+		return nil, err
+	}
+	if own != nil {
+		var flops float64
+		localLabels, flops = labelBySAD(own, endmembers)
+		c.Compute(flops, vtime.Par)
+	}
+
+	// Step 5: gather the labels into the final classification matrix.
+	labels := GatherLabels(c, spans, samples, localLabels)
+	if !c.Root() {
+		return nil, nil
+	}
+	return &ClassificationResult{Labels: labels, Classes: endmembers}, nil
+}
+
+// morphComputePhase runs steps 2-3 of Algorithm 5 — the AMEE iterations
+// and the master's candidate fusion — returning the fused endmember set at
+// the root (nil elsewhere).
+func morphComputePhase(c *mpi.Comm, part LocalPart, params MorphParams, geom [3]int) ([][]float32, error) {
 	se := morph.Square(params.Radius)
 
 	// Step 2: AMEE on the local partition including the overlap borders
@@ -334,31 +398,5 @@ func MorphParallel(c *mpi.Comm, f *cube.Cube, params MorphParams, strat partitio
 			return nil, fmt.Errorf("algo: no endmembers found")
 		}
 	}
-
-	// Step 4: broadcast the unique set; every worker labels its owned
-	// pixels by SAD.
-	var emBytes int
-	if c.Root() {
-		emBytes = len(endmembers) * 4 * geom[2]
-	}
-	emAny := c.Bcast(0, tagBroadcast, endmembers, emBytes)
-	endmembers = emAny.([][]float32)
-
-	var localLabels []int
-	own, err := part.OwnedView()
-	if err != nil {
-		return nil, err
-	}
-	if own != nil {
-		var flops float64
-		localLabels, flops = labelBySAD(own, endmembers)
-		c.Compute(flops, vtime.Par)
-	}
-
-	// Step 5: gather the labels into the final classification matrix.
-	labels := GatherLabels(c, spans, samples, localLabels)
-	if !c.Root() {
-		return nil, nil
-	}
-	return &ClassificationResult{Labels: labels, Classes: endmembers}, nil
+	return endmembers, nil
 }

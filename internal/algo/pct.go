@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cube"
 	"repro/internal/linalg"
 	"repro/internal/mpi"
@@ -50,6 +51,11 @@ type PCTParams struct {
 	// detectors exist to find) are absorbed into their nearest
 	// representative before merging. Zero selects the default.
 	MinPopulation float64
+	// Checkpoint, when non-nil, saves the master's phase state after the
+	// eigendecomposition (step 7) and resumes from it, skipping the
+	// statistics phases entirely. Nil disables checkpointing with zero
+	// protocol or virtual-time change.
+	Checkpoint checkpoint.Checkpointer
 }
 
 // eigenBands returns the band count used for the eigendecomposition
@@ -441,6 +447,87 @@ func PCTParallel(c *mpi.Comm, f *cube.Cube, params PCTParams, strat partition.St
 		return nil, err
 	}
 
+	// Resume: a valid phase snapshot carries the full step-7 state
+	// (transform, mean, reduced representatives, classes), so the run
+	// skips straight to the distribution step. A fresh run executes steps
+	// 2-7 unchanged and snapshots the result.
+	var msg pctBcastMsg
+	resumed := 0
+	if c.Root() {
+		if m, ok := restorePCTState(c, params.Checkpoint, bands); ok {
+			msg, resumed = m, 1
+		}
+	}
+	if params.Checkpoint != nil {
+		resumed = syncResume(c, resumed)
+	}
+	if resumed == 0 {
+		msg, err = pctComputePhase(c, own, params, bands)
+		if err != nil {
+			return nil, err
+		}
+		if c.Root() {
+			if err := savePCTState(c, params.Checkpoint, msg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var msgBytes int
+	if c.Root() {
+		msgBytes = msg.bytes()
+	}
+	msgAny := c.Bcast(0, tagBroadcast, msg, msgBytes)
+	msg = msgAny.(pctBcastMsg)
+
+	// Step 8: every worker transforms its portion into the reduced
+	// (c-component) cube.
+	var reducedLocal [][]float64
+	if own != nil {
+		var flops float64
+		reducedLocal, flops = reduceCube(own, msg.t, msg.mean)
+		c.Compute(flops, vtime.Par)
+	}
+
+	// Step 9, first half: the reduced-cube partitions pass through the
+	// master, exactly as the paper routes them ("P partitions of a
+	// reduced data cube ... are sent to the workers"). The payloads are
+	// pixel-proportional, so the transfers carry the data scale.
+	redBytes := int(float64(len(reducedLocal)*msg.t.Rows*8) * c.DataScale())
+	gatheredRed := mpi.GatherAs(c, 0, tagPartial, reducedLocal, redBytes)
+	if c.Root() {
+		// Assembling the reduced cube at the master is a linear pass.
+		total := 0
+		for _, part := range gatheredRed {
+			total += len(part)
+		}
+		c.Compute(float64(total), vtime.Seq)
+		for r := 1; r < c.Size(); r++ {
+			part := gatheredRed[r]
+			c.Send(r, tagPartial, part, int(float64(len(part)*msg.t.Rows*8)*c.DataScale()))
+		}
+	} else {
+		reducedLocal = mpi.RecvAs[[][]float64](c, 0, tagPartial)
+	}
+
+	// Step 9, second half: classify in the reduced space and gather the
+	// labels.
+	var localLabels []int
+	if own != nil {
+		var flops float64
+		localLabels, flops = classifyReducedVectors(reducedLocal, msg.reduced, msg.t.Rows)
+		c.Compute(flops, vtime.Par)
+	}
+	labels := GatherLabels(c, spans, samples, localLabels)
+	if !c.Root() {
+		return nil, nil
+	}
+	return &ClassificationResult{Labels: labels, Classes: msg.classes}, nil
+}
+
+// pctComputePhase runs steps 2-7 of Algorithm 4 — the unique-set build,
+// the scene statistics and the master's eigendecomposition — returning the
+// step-7 broadcast state at the root (the zero message elsewhere).
+func pctComputePhase(c *mpi.Comm, own *cube.Cube, params PCTParams, bands int) (pctBcastMsg, error) {
 	// Step 2: each worker forms its local unique spectral set, reduced to
 	// c representatives before shipping.
 	var localReps []rep
@@ -531,7 +618,7 @@ func PCTParallel(c *mpi.Comm, f *cube.Cube, params PCTParams, strat partition.St
 		// Step 7: eigendecomposition, sequential at the master.
 		t, err := pctTransformMatrix(cov, min(params.Classes, len(reps)))
 		if err != nil {
-			return nil, err
+			return pctBcastMsg{}, err
 		}
 		c.ComputeFixed(linalg.FlopsSymEigen(params.eigenBands(bands)), vtime.Seq)
 		reduced := make([][]float64, len(reps))
@@ -543,54 +630,5 @@ func PCTParallel(c *mpi.Comm, f *cube.Cube, params PCTParams, strat partition.St
 		c.ComputeFixed(float64(len(reps))*linalg.FlopsMulVec(t.Rows, bands), vtime.Seq)
 		msg = pctBcastMsg{t: t, mean: mean, reduced: reduced, classes: repsToClasses(reps)}
 	}
-	var msgBytes int
-	if c.Root() {
-		msgBytes = msg.bytes()
-	}
-	msgAny := c.Bcast(0, tagBroadcast, msg, msgBytes)
-	msg = msgAny.(pctBcastMsg)
-
-	// Step 8: every worker transforms its portion into the reduced
-	// (c-component) cube.
-	var reducedLocal [][]float64
-	if own != nil {
-		var flops float64
-		reducedLocal, flops = reduceCube(own, msg.t, msg.mean)
-		c.Compute(flops, vtime.Par)
-	}
-
-	// Step 9, first half: the reduced-cube partitions pass through the
-	// master, exactly as the paper routes them ("P partitions of a
-	// reduced data cube ... are sent to the workers"). The payloads are
-	// pixel-proportional, so the transfers carry the data scale.
-	redBytes := int(float64(len(reducedLocal)*msg.t.Rows*8) * c.DataScale())
-	gatheredRed := mpi.GatherAs(c, 0, tagPartial, reducedLocal, redBytes)
-	if c.Root() {
-		// Assembling the reduced cube at the master is a linear pass.
-		total := 0
-		for _, part := range gatheredRed {
-			total += len(part)
-		}
-		c.Compute(float64(total), vtime.Seq)
-		for r := 1; r < c.Size(); r++ {
-			part := gatheredRed[r]
-			c.Send(r, tagPartial, part, int(float64(len(part)*msg.t.Rows*8)*c.DataScale()))
-		}
-	} else {
-		reducedLocal = mpi.RecvAs[[][]float64](c, 0, tagPartial)
-	}
-
-	// Step 9, second half: classify in the reduced space and gather the
-	// labels.
-	var localLabels []int
-	if own != nil {
-		var flops float64
-		localLabels, flops = classifyReducedVectors(reducedLocal, msg.reduced, msg.t.Rows)
-		c.Compute(flops, vtime.Par)
-	}
-	labels := GatherLabels(c, spans, samples, localLabels)
-	if !c.Root() {
-		return nil, nil
-	}
-	return &ClassificationResult{Labels: labels, Classes: msg.classes}, nil
+	return msg, nil
 }

@@ -76,20 +76,40 @@ func UFCLSParallel(c *mpi.Comm, f *cube.Cube, params DetectionParams, strat part
 	}
 	bands := geom[2]
 
-	// Steps 1-3 of Hetero-ATDCA: the brightest pixel seeds U.
-	cand := localBrightest(c, part)
-	cands := mpi.GatherAs(c, 0, tagCandidate, cand, candidateBytes(bands))
 	var res *DetectionResult
 	var u uMatrix
+	start := 0
 	if c.Root() {
-		res = &DetectionResult{}
-		best := pickBrightest(c, cands)
-		res.Targets = append(res.Targets, best)
-		u.rows = append(u.rows, toF64(best.Signature))
+		if targets := restoreTargets(c, params.Checkpoint, ckptUFCLS, t); len(targets) > 0 {
+			res = &DetectionResult{Targets: targets}
+			for _, tg := range targets {
+				u.rows = append(u.rows, toF64(tg.Signature))
+			}
+			start = len(targets)
+		}
+	}
+	if params.Checkpoint != nil {
+		start = syncResume(c, start)
+	}
+
+	if start == 0 {
+		// Steps 1-3 of Hetero-ATDCA: the brightest pixel seeds U.
+		cand := localBrightest(c, part)
+		cands := mpi.GatherAs(c, 0, tagCandidate, cand, candidateBytes(bands))
+		if c.Root() {
+			res = &DetectionResult{}
+			best := pickBrightest(c, cands)
+			res.Targets = append(res.Targets, best)
+			u.rows = append(u.rows, toF64(best.Signature))
+			if err := saveTargets(c, params.Checkpoint, ckptUFCLS, res.Targets); err != nil {
+				return nil, err
+			}
+		}
+		start = 1
 	}
 	u = broadcastU(c, u, bands)
 
-	for round := 1; round < t; round++ {
+	for round := start; round < t; round++ {
 		// Each worker forms its local error image by fully constrained
 		// unmixing against U and reports the largest-error pixel.
 		cand, err := localMaxError(c, part, u, bands)
@@ -104,6 +124,9 @@ func UFCLSParallel(c *mpi.Comm, f *cube.Cube, params DetectionParams, strat part
 			}
 			res.Targets = append(res.Targets, best)
 			u.rows = append(u.rows, toF64(best.Signature))
+			if err := saveTargets(c, params.Checkpoint, ckptUFCLS, res.Targets); err != nil {
+				return nil, err
+			}
 		}
 		u = broadcastU(c, u, bands)
 	}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+)
+
+func sameDetections(t *testing.T, a, b *RunReport) {
+	t.Helper()
+	if a.Detection == nil || b.Detection == nil {
+		t.Fatal("missing detection result")
+	}
+	ta, tb := a.Detection.Targets, b.Detection.Targets
+	if len(ta) != len(tb) {
+		t.Fatalf("target counts differ: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i].Line != tb[i].Line || ta[i].Sample != tb[i].Sample {
+			t.Fatalf("target %d differs: (%d,%d) vs (%d,%d)", i, ta[i].Line, ta[i].Sample, tb[i].Line, tb[i].Sample)
+		}
+	}
+}
+
+// A clean checkpointed run saves one snapshot per round, charges the I/O
+// into SEQ, reports no resume — and a second run over the now-populated
+// store resumes past every round while detecting the same targets.
+func TestCheckpointCleanRunBookkeeping(t *testing.T) {
+	sc := smallScene(t)
+	net := smallNet(t, 3)
+	params := smallParams()
+
+	plain, err := Run(net, ATDCA, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CheckpointSaves != 0 || plain.CheckpointOverhead != 0 || plain.ResumedFromRound != 0 {
+		t.Fatalf("run without checkpointer reported checkpoint activity: %+v", plain)
+	}
+
+	store := &checkpoint.MemStore{}
+	ctx := WithCheckpointer(context.Background(), store)
+	rep, err := RunContext(ctx, net, ATDCA, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetections(t, plain, rep)
+	if rep.CheckpointSaves != params.Targets {
+		t.Errorf("saves = %d, want one per round (%d)", rep.CheckpointSaves, params.Targets)
+	}
+	if rep.CheckpointBytes <= 0 || rep.CheckpointOverhead <= 0 {
+		t.Errorf("checkpoint accounting empty: bytes=%d overhead=%v", rep.CheckpointBytes, rep.CheckpointOverhead)
+	}
+	if rep.ResumedFromRound != 0 {
+		t.Errorf("clean run reports resume from round %d", rep.ResumedFromRound)
+	}
+	if rep.Seq <= plain.Seq {
+		t.Errorf("checkpoint I/O not charged into SEQ: %v <= %v", rep.Seq, plain.Seq)
+	}
+
+	// The store now holds the final round: a rerun resumes past all of it.
+	rep2, err := RunContext(ctx, net, ATDCA, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetections(t, plain, rep2)
+	if rep2.ResumedFromRound != params.Targets {
+		t.Errorf("resumed from round %d, want %d", rep2.ResumedFromRound, params.Targets)
+	}
+	if rep2.CheckpointSaves != 0 {
+		t.Errorf("full resume still saved %d snapshots", rep2.CheckpointSaves)
+	}
+	if rep2.Seq+rep2.Par >= rep.Seq+rep.Par {
+		t.Errorf("full resume did not reduce compute: %v >= %v", rep2.Seq+rep2.Par, rep.Seq+rep.Par)
+	}
+}
+
+// The tentpole scenario: a worker dies mid-run, degraded-mode recovery
+// retries on the surviving processors, and the retry resumes from the last
+// checkpointed round instead of recomputing — same detections, strictly
+// less compute than the checkpoint-free recovery of the identical failure.
+func TestCheckpointResumeAfterRankFailure(t *testing.T) {
+	sc := smallScene(t)
+	net := smallNet(t, 4)
+	params := smallParams()
+	params.Recovery = RecoveryOptions{Enabled: true}
+	// Scale the per-round compute well above the fixed checkpoint-write
+	// latency, as in any realistically sized scene; on the tiny test scene
+	// the fsync cost would otherwise swamp the rounds it saves.
+	params.WorkScale = 50
+
+	// Calibrate the crash instant to the middle of a checkpointed clean
+	// run, so attempt 1 completes some rounds before rank 2 dies.
+	ctxClean := WithCheckpointer(context.Background(), &checkpoint.MemStore{})
+	clean, err := RunContext(ctxClean, net, ATDCA, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.Faults = &fault.Plan{Crashes: []fault.Crash{{Rank: 2, At: clean.WallTime / 2, Attempt: 1}}}
+
+	// Checkpoint-free baseline: recovery reruns from scratch.
+	scratch, err := Run(net, ATDCA, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scratch.Attempts != 2 {
+		t.Fatalf("baseline attempts = %d, want 2", scratch.Attempts)
+	}
+
+	ctx := WithCheckpointer(context.Background(), &checkpoint.MemStore{})
+	rep, err := RunContext(ctx, net, ATDCA, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", rep.Attempts)
+	}
+	if rep.ResumedFromRound < 1 || rep.ResumedFromRound >= params.Targets {
+		t.Fatalf("resumed from round %d, want a mid-run round in [1,%d)", rep.ResumedFromRound, params.Targets)
+	}
+	sameDetections(t, scratch, rep)
+	if rep.Seq+rep.Par >= scratch.Seq+scratch.Par {
+		t.Errorf("resumed retry compute %v not below from-scratch retry %v", rep.Seq+rep.Par, scratch.Seq+scratch.Par)
+	}
+
+	// Determinism: the whole crash-resume sequence replays identically.
+	rep2, err := RunContext(WithCheckpointer(context.Background(), &checkpoint.MemStore{}), net, ATDCA, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.WallTime != rep.WallTime || rep2.ResumedFromRound != rep.ResumedFromRound {
+		t.Fatalf("resume replay diverged: wall %v vs %v, round %d vs %d",
+			rep2.WallTime, rep.WallTime, rep2.ResumedFromRound, rep.ResumedFromRound)
+	}
+}
+
+// Phase checkpointing covers the classifiers too: a PCT rerun over a
+// store holding the step-7 snapshot resumes without recomputing the
+// statistics and eigendecomposition phases.
+func TestCheckpointResumeClassifier(t *testing.T) {
+	sc := smallScene(t)
+	net := smallNet(t, 4)
+	params := smallParams()
+	params.WorkScale = 50
+
+	store := &checkpoint.MemStore{}
+	ctx := WithCheckpointer(context.Background(), store)
+	clean, err := RunContext(ctx, net, PCT, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.CheckpointSaves != 1 || clean.ResumedFromRound != 0 {
+		t.Fatalf("clean PCT run: saves=%d resumedFrom=%d, want 1 and 0", clean.CheckpointSaves, clean.ResumedFromRound)
+	}
+
+	rep, err := RunContext(ctx, net, PCT, Hetero, sc.Cube, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResumedFromRound != 1 {
+		t.Fatalf("resumed from round %d, want 1", rep.ResumedFromRound)
+	}
+	if rep.Classification == nil || clean.Classification == nil {
+		t.Fatal("missing classification")
+	}
+	for i, v := range clean.Classification.Labels {
+		if rep.Classification.Labels[i] != v {
+			t.Fatal("resumed PCT classified differently")
+		}
+	}
+	if rep.Seq+rep.Par >= clean.Seq+clean.Par {
+		t.Errorf("phase resume did not reduce compute: %v >= %v", rep.Seq+rep.Par, clean.Seq+clean.Par)
+	}
+}

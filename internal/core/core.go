@@ -188,6 +188,21 @@ type RunReport struct {
 	// attempts — each one charged up to the instant its rank died. It is
 	// not included in WallTime, which times the successful attempt only.
 	RecoveryOverhead float64
+
+	// ResumedFromRound is the round boundary the successful attempt
+	// resumed from: zero when it ran from scratch, k when a checkpoint
+	// restored the master's state after round k. Nonzero only when a
+	// Checkpointer was attached via WithCheckpointer.
+	ResumedFromRound int
+	// CheckpointSaves and CheckpointBytes count the snapshot writes (and
+	// their payload bytes) across every attempt of this run.
+	CheckpointSaves int
+	CheckpointBytes int64
+	// CheckpointOverhead is the virtual time in seconds the successful
+	// attempt's master spent on checkpoint I/O. Unlike RecoveryOverhead it
+	// IS part of WallTime (and of Seq): checkpointing is work the run
+	// chose to do.
+	CheckpointOverhead float64
 }
 
 // Run executes one algorithm variant on the given network against the
@@ -220,6 +235,16 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 	}
 	tel := MetricsFrom(ctx)
 	tel.runStarted(alg)
+	var cck *countingCheckpointer
+	if ck := CheckpointerFrom(ctx); ck != nil {
+		cck = &countingCheckpointer{inner: ck}
+		params.PCT.Checkpoint = cck
+		params.Morph.Checkpoint = cck
+	}
+	detParams := algo.DetectionParams{Targets: params.Targets, EquivalentBands: params.EquivalentBands}
+	if cck != nil {
+		detParams.Checkpoint = cck
+	}
 	program := func(c *mpi.Comm) any {
 		var data *cube.Cube
 		if c.Root() {
@@ -227,13 +252,13 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 		}
 		switch alg {
 		case ATDCA:
-			r, err := algo.ATDCAParallel(c, data, algo.DetectionParams{Targets: params.Targets, EquivalentBands: params.EquivalentBands}, strat)
+			r, err := algo.ATDCAParallel(c, data, detParams, strat)
 			if err != nil {
 				panic(err)
 			}
 			return r
 		case UFCLS:
-			r, err := algo.UFCLSParallel(c, data, algo.DetectionParams{Targets: params.Targets, EquivalentBands: params.EquivalentBands}, strat)
+			r, err := algo.UFCLSParallel(c, data, detParams, strat)
 			if err != nil {
 				panic(err)
 			}
@@ -293,6 +318,11 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 			trace = world.EnableTrace()
 		}
 
+		savesBefore := 0
+		if cck != nil {
+			savesBefore = cck.saves
+			cck.offered = 0
+		}
 		res, err := world.Run(program)
 		if err != nil {
 			var rf *mpi.RankFailedError
@@ -348,6 +378,17 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 		if trace != nil {
 			report.Timeline = trace.Timeline(curNet.Size(), 100)
 			report.TraceEvents = trace.Events()
+		}
+		if cck != nil {
+			report.CheckpointSaves = cck.saves
+			report.CheckpointBytes = cck.bytes
+			report.CheckpointOverhead = res.Counters[0].CheckpointSeconds
+			// A restore charge on the master's counters — beyond this
+			// attempt's saves — means the attempt actually consumed the
+			// snapshot Latest offered, not merely looked at it.
+			if res.Counters[0].Checkpoints > cck.saves-savesBefore {
+				report.ResumedFromRound = cck.offered
+			}
 		}
 		tel.runDone(report)
 		tel.mpiRun(res.Counters)

@@ -15,13 +15,16 @@ import (
 // Params is part of the scheduler's result-cache key (rendered with %+v)
 // and must stay a pure value type.
 type Metrics struct {
-	runsStarted    *telemetry.CounterVec
-	runsFailed     *telemetry.Counter
-	runsRecovered  *telemetry.Counter
-	ranksLost      *telemetry.Counter
-	virtualSeconds *telemetry.CounterVec
-	lastDAll       *telemetry.Gauge
-	lastDMinus     *telemetry.Gauge
+	runsStarted     *telemetry.CounterVec
+	runsFailed      *telemetry.Counter
+	runsRecovered   *telemetry.Counter
+	runsResumed     *telemetry.Counter
+	ranksLost       *telemetry.Counter
+	virtualSeconds  *telemetry.CounterVec
+	checkpointSaves *telemetry.Counter
+	checkpointBytes *telemetry.Counter
+	lastDAll        *telemetry.Gauge
+	lastDMinus      *telemetry.Gauge
 
 	// Per-rank MPI activity, aggregated across runs. Rank cardinality is
 	// bounded by the largest simulated network, which the paper caps at
@@ -41,6 +44,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Simulated runs that returned an error."),
 		runsRecovered: reg.NewCounter("hyperhet_core_runs_recovered_total",
 			"Runs that completed only after degraded-mode recovery."),
+		runsResumed: reg.NewCounter("hyperhet_core_runs_resumed_total",
+			"Runs whose successful attempt resumed from a checkpoint instead of round zero."),
+		checkpointSaves: reg.NewCounter("hyperhet_core_checkpoint_saves_total",
+			"Master round-state snapshots written."),
+		checkpointBytes: reg.NewCounter("hyperhet_core_checkpoint_bytes_total",
+			"Payload bytes written to checkpoint stores."),
 		ranksLost: reg.NewCounter("hyperhet_core_ranks_lost_total",
 			"Worker ranks excluded from a platform by degraded-mode recovery."),
 		virtualSeconds: reg.NewCounterVec("hyperhet_core_virtual_seconds_total",
@@ -86,6 +95,11 @@ func (m *Metrics) runDone(rep *RunReport) {
 	if rep.Attempts > 1 {
 		m.runsRecovered.Inc()
 	}
+	if rep.ResumedFromRound > 0 {
+		m.runsResumed.Inc()
+	}
+	m.checkpointSaves.Add(float64(rep.CheckpointSaves))
+	m.checkpointBytes.Add(float64(rep.CheckpointBytes))
 	m.virtualSeconds.With("COM").Add(rep.Com)
 	m.virtualSeconds.With("SEQ").Add(rep.Seq)
 	m.virtualSeconds.With("PAR").Add(rep.Par)

@@ -197,6 +197,12 @@ type RankCounters struct {
 	BytesRecv         int64
 	Computes, Elapses int
 	Flops             float64
+	// Checkpoints counts round-boundary snapshot charges (saves and
+	// restores); CheckpointBytes totals their payload sizes and
+	// CheckpointSeconds the virtual time they cost on this rank's clock.
+	Checkpoints       int
+	CheckpointBytes   int64
+	CheckpointSeconds float64
 }
 
 // Comm is one rank's endpoint into the world. It is created by Run and
@@ -280,6 +286,25 @@ func (c *Comm) chargeCompute(flops float64, cat vtime.Category) {
 // DataScale reports the world's pixel-data byte multiplier; algorithms
 // multiply the sizes of pixel-proportional transfers by it.
 func (c *Comm) DataScale() float64 { return c.world.dataScale }
+
+// Checkpoint charges seconds of round-boundary snapshot I/O for a payload
+// of the given size — the master persisting its round state (package
+// checkpoint supplies the cost model; this layer only meters). The charge
+// lands in SEQ (master-resident bookkeeping, like the paper's sequential
+// phases), honours cancellation, injected crashes and degradation windows
+// exactly like Elapse, and is traced as its own event kind so timelines
+// separate snapshot writes from algorithm work.
+func (c *Comm) Checkpoint(bytes int, seconds float64) {
+	c.world.checkAborted()
+	c.checkFailed()
+	start := c.clock.Now()
+	c.ctr.Checkpoints++
+	c.ctr.CheckpointBytes += int64(bytes)
+	c.ctr.CheckpointSeconds += seconds * c.computeFactor()
+	c.clock.Add(seconds*c.computeFactor(), vtime.Seq)
+	c.checkFailed()
+	c.world.trace.add(Event{Rank: c.rank, Kind: EventCheckpoint, Peer: -1, Bytes: bytes, Start: start, Dur: c.clock.Now() - start, Cat: vtime.Seq})
+}
 
 // Elapse charges d seconds of non-flop local work (e.g. disk access) to
 // the given category. Like Compute it honours cancellation, injected

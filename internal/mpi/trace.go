@@ -22,6 +22,10 @@ const (
 	EventCompute
 	// EventElapse is a non-flop local-work charge (e.g. disk access).
 	EventElapse
+	// EventCheckpoint is a round-boundary snapshot write or restore at the
+	// master (Bytes = snapshot payload size), so timelines and Chrome
+	// exports show where a run checkpointed and what the I/O cost.
+	EventCheckpoint
 )
 
 // String returns a short label.
@@ -35,6 +39,8 @@ func (k EventKind) String() string {
 		return "compute"
 	case EventElapse:
 		return "elapse"
+	case EventCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -146,7 +152,7 @@ func (t *Trace) Timeline(ranks int, width int) string {
 	}
 	for _, e := range events {
 		switch e.Kind {
-		case EventCompute, EventElapse:
+		case EventCompute, EventElapse, EventCheckpoint:
 			mark(e.Rank, e.Start, e.Dur, '#')
 		default:
 			mark(e.Rank, e.Start, e.Dur, '~')
@@ -170,6 +176,7 @@ func (t *Trace) Timeline(ranks int, width int) string {
 // Summary aggregates the trace: per-rank event counts and bytes.
 type Summary struct {
 	Sends, Recvs, Computes, Elapses int
+	Checkpoints                     int
 	BytesSent                       int
 }
 
@@ -191,6 +198,8 @@ func (t *Trace) Summarize(ranks int) []Summary {
 			s.Computes++
 		case EventElapse:
 			s.Elapses++
+		case EventCheckpoint:
+			s.Checkpoints++
 		}
 	}
 	return out

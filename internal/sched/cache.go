@@ -54,8 +54,11 @@ func networkFingerprint(net *platform.Network) string {
 // caching for the job. Jobs with a fault plan never cache: chaos runs
 // exist to exercise the failure path, and serving a memoized report
 // would skip it (their attempt history would also be a lie).
+// Checkpointed jobs never cache either — their reports carry checkpoint
+// overhead and resume state that depend on the store's history, not on
+// the spec alone.
 func (spec *JobSpec) cacheKey() string {
-	if spec.NoCache || !spec.Params.Faults.Empty() {
+	if spec.NoCache || spec.Checkpoint || !spec.Params.Faults.Empty() {
 		return ""
 	}
 	digest := spec.CubeDigest

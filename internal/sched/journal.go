@@ -1,0 +1,406 @@
+package sched
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+)
+
+// The job journal is an append-only write-ahead log of job lifecycle
+// records, the durability layer behind hyperhetd's crash/restart story: a
+// scheduler configured with a Journal appends a record at every lifecycle
+// edge (submitted, started, checkpointed, finished), each one fsync'd
+// before the scheduler proceeds, and a restarted process folds the log
+// with ReplayJournal to rebuild its state — finished jobs become queryable
+// history again, unfinished jobs are resubmitted under their original IDs
+// and resume from their last checkpointed round.
+//
+// File layout: an 8-byte header (magic "HHWJ" plus a little-endian uint32
+// format version), then records framed as
+//
+//	[uint32 body length][uint32 CRC32-IEEE of body][JSON body]
+//
+// Replay trusts the framing only as far as it verifies: a truncated tail
+// or a checksum mismatch ends the readable log (everything before it is
+// kept — exactly the torn-final-write a crash produces), while a record
+// whose frame is sound but whose schema version is unknown is skipped and
+// replay continues.
+const (
+	journalMagic    = "HHWJ"
+	journalFormat   = 1
+	journalFileName = "journal.wal"
+	// journalHeaderLen is the file header: magic + format version.
+	journalHeaderLen = 8
+	// maxRecordLen caps one record's body so a corrupt length field cannot
+	// drive a giant allocation during replay.
+	maxRecordLen = 64 << 20
+)
+
+// recordVersion is the schema version stamped into every record; replay
+// skips records from other versions without aborting the fold.
+const recordVersion = 1
+
+// Journal record types, one per job lifecycle edge.
+const (
+	recSubmitted    = "submitted"
+	recStarted      = "started"
+	recCheckpointed = "checkpointed"
+	recFinished     = "finished"
+)
+
+// Record is one journal entry. Only the fields of its Type are set.
+type Record struct {
+	// V is the record schema version (recordVersion at write time).
+	V int `json:"v"`
+	// Type is the lifecycle edge: submitted, started, checkpointed or
+	// finished.
+	Type string `json:"type"`
+	// Job is the scheduler-assigned job ID.
+	Job string `json:"job"`
+	// Time stamps the record (UTC; filled by Append when zero).
+	Time time.Time `json:"time"`
+
+	// Request (submitted) is the raw submission document — for hyperhetd,
+	// the verbatim POST /submit body — from which a restarted server
+	// rebuilds the JobSpec. CacheKey is the job's result-cache key, so a
+	// restored completed result can re-seed the cache without rehashing
+	// the scene.
+	Request  json.RawMessage `json:"request,omitempty"`
+	CacheKey string          `json:"cache_key,omitempty"`
+
+	// Attempt (started) is the 1-based execution attempt beginning.
+	Attempt int `json:"attempt,omitempty"`
+
+	// Round and Snapshot (checkpointed) carry the master round state: the
+	// frame is the versioned, checksummed checkpoint.Encode encoding, so a
+	// damaged snapshot inside an intact record is detected independently.
+	Round    int    `json:"round,omitempty"`
+	Snapshot []byte `json:"snapshot,omitempty"`
+
+	// State, Error, Report and Adaptive (finished) record the terminal
+	// outcome. Report is the JSON run report with trace events stripped.
+	State    string          `json:"state,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Report   json.RawMessage `json:"report,omitempty"`
+	Adaptive json.RawMessage `json:"adaptive,omitempty"`
+}
+
+// Journal is an append-only, fsync-per-record job log in a directory.
+// Open with OpenJournal; safe for concurrent use.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating directory and file as needed) the journal in
+// dir and positions it for appending. An existing file must carry the
+// expected header; replay the records first with ReplayJournal if the
+// previous process may have left state behind.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sched: creating journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sched: opening journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sched: opening journal: %w", err)
+	}
+	if st.Size() == 0 {
+		var hdr [journalHeaderLen]byte
+		copy(hdr[:4], journalMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], journalFormat)
+		if _, err := f.Write(hdr[:]); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sched: initializing journal: %w", err)
+		}
+	} else {
+		var hdr [journalHeaderLen]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sched: reading journal header: %w", err)
+		}
+		if err := checkJournalHeader(hdr[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sched: seeking journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+func checkJournalHeader(hdr []byte) error {
+	if len(hdr) < journalHeaderLen || string(hdr[:4]) != journalMagic {
+		return fmt.Errorf("sched: %q is not a job journal (bad magic)", journalFileName)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:journalHeaderLen]); v != journalFormat {
+		return fmt.Errorf("sched: journal format %d (this build reads %d)", v, journalFormat)
+	}
+	return nil
+}
+
+// Append frames, writes and fsyncs one record. A nil journal is a no-op.
+func (jl *Journal) Append(rec Record) error {
+	if jl == nil {
+		return nil
+	}
+	rec.V = recordVersion
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC()
+	}
+	body, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("sched: encoding journal record: %w", err)
+	}
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return errors.New("sched: journal closed")
+	}
+	if _, err := jl.f.Write(frame); err != nil {
+		return fmt.Errorf("sched: appending journal record: %w", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("sched: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file. Further Appends fail; Close is
+// idempotent.
+func (jl *Journal) Close() error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return nil
+	}
+	err := jl.f.Sync()
+	if cerr := jl.f.Close(); err == nil {
+		err = cerr
+	}
+	jl.f = nil
+	return err
+}
+
+// JournalJob is one job's folded journal story: the latest state implied
+// by its records, in submission order across the log.
+type JournalJob struct {
+	// ID is the job's original scheduler ID, preserved across restarts.
+	ID string
+	// Request is the raw submission document from the submitted record.
+	Request []byte
+	// CacheKey is the job's result-cache key ("" when uncacheable).
+	CacheKey string
+	// Submitted is the original submission time.
+	Submitted time.Time
+	// Attempts counts the started records seen (execution attempts begun).
+	Attempts int
+	// Finished reports whether a finished record closed the story; the
+	// remaining fields below are set only in that case (except Snapshot,
+	// set only for unfinished jobs).
+	Finished   bool
+	FinishedAt time.Time
+	// State is the terminal lifecycle state of a finished job.
+	State State
+	// Error is the terminal error message ("" on success).
+	Error string
+	// Report is the completed run report (trace events stripped).
+	Report *core.RunReport
+	// Adaptive is the adaptive report of a completed ModeAdaptive job.
+	Adaptive *core.AdaptiveReport
+	// Snapshot is the latest checkpointed master round state of an
+	// unfinished job; a resubmitted job seeds its store from it and
+	// resumes at Snapshot.Round.
+	Snapshot *checkpoint.Snapshot
+}
+
+// ReplayJournal reads the journal in dir and folds it into per-job
+// stories, ordered by first appearance. A missing journal file yields
+// (nil, nil); a damaged tail truncates the readable log without error; a
+// damaged header is an error, since nothing after it can be trusted.
+func ReplayJournal(dir string) ([]*JournalJob, error) {
+	b, err := os.ReadFile(filepath.Join(dir, journalFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sched: reading journal: %w", err)
+	}
+	recs, err := decodeJournal(b)
+	if err != nil {
+		return nil, err
+	}
+	return foldJournal(recs), nil
+}
+
+// decodeJournal parses the framed records, stopping — not failing — at the
+// first truncated or checksum-failing frame: beyond a damaged frame the
+// framing itself is untrustworthy, and a torn final write is the expected
+// crash artifact. Records with an unknown schema version are skipped.
+func decodeJournal(b []byte) ([]Record, error) {
+	if len(b) < journalHeaderLen {
+		return nil, fmt.Errorf("sched: journal too short for a header (%d bytes)", len(b))
+	}
+	if err := checkJournalHeader(b); err != nil {
+		return nil, err
+	}
+	var recs []Record
+	off := journalHeaderLen
+	for off+8 <= len(b) {
+		n := binary.LittleEndian.Uint32(b[off:])
+		want := binary.LittleEndian.Uint32(b[off+4:])
+		if n > maxRecordLen || off+8+int(n) > len(b) {
+			break // corrupt length or truncated tail
+		}
+		body := b[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(body) != want {
+			break // torn or corrupted frame
+		}
+		off += 8 + int(n)
+		var rec Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			continue // frame intact, content unreadable: skip
+		}
+		if rec.V != recordVersion {
+			continue // written by another schema: skip
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// foldJournal reduces the record stream to each job's latest state.
+func foldJournal(recs []Record) []*JournalJob {
+	byID := make(map[string]*JournalJob)
+	var order []*JournalJob
+	get := func(id string) *JournalJob {
+		if jj, ok := byID[id]; ok {
+			return jj
+		}
+		jj := &JournalJob{ID: id}
+		byID[id] = jj
+		order = append(order, jj)
+		return jj
+	}
+	for _, rec := range recs {
+		if rec.Job == "" {
+			continue
+		}
+		jj := get(rec.Job)
+		switch rec.Type {
+		case recSubmitted:
+			jj.Request = rec.Request
+			jj.CacheKey = rec.CacheKey
+			jj.Submitted = rec.Time
+		case recStarted:
+			jj.Attempts++
+		case recCheckpointed:
+			// The snapshot frame carries its own checksum: a damaged one
+			// inside an intact record keeps the previous snapshot.
+			if s, err := checkpoint.Decode(rec.Snapshot); err == nil {
+				jj.Snapshot = &s
+			}
+		case recFinished:
+			jj.Finished = true
+			jj.FinishedAt = rec.Time
+			jj.State = State(rec.State)
+			jj.Error = rec.Error
+			jj.Snapshot = nil
+			if len(rec.Report) > 0 {
+				var rep core.RunReport
+				if json.Unmarshal(rec.Report, &rep) == nil {
+					jj.Report = &rep
+				}
+			}
+			if len(rec.Adaptive) > 0 {
+				var ar core.AdaptiveReport
+				if json.Unmarshal(rec.Adaptive, &ar) == nil {
+					jj.Adaptive = &ar
+				}
+			}
+		}
+	}
+	return order
+}
+
+// marshalReport serializes a run report for a finished record with the
+// trace events stripped: they dominate the encoding and replay needs the
+// result, not the flame graph.
+func marshalReport(rep *core.RunReport) json.RawMessage {
+	if rep == nil {
+		return nil
+	}
+	r := *rep
+	r.TraceEvents = nil
+	b, err := json.Marshal(&r)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+func marshalAdaptive(ar *core.AdaptiveReport) json.RawMessage {
+	if ar == nil {
+		return nil
+	}
+	a := *ar
+	a.TraceEvents = nil
+	b, err := json.Marshal(&a)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// journaledStore wraps a job's in-memory checkpoint store so every saved
+// round snapshot also lands in the journal: the job's resume state then
+// survives the process, not just the retry loop.
+type journaledStore struct {
+	inner *checkpoint.MemStore
+	sched *Scheduler
+	job   string
+}
+
+func (js *journaledStore) Save(s checkpoint.Snapshot) error {
+	if err := js.inner.Save(s); err != nil {
+		return err
+	}
+	js.sched.journalAppend(Record{
+		Type:     recCheckpointed,
+		Job:      js.job,
+		Round:    s.Round,
+		Snapshot: checkpoint.Encode(s),
+	})
+	return nil
+}
+
+func (js *journaledStore) Latest() (checkpoint.Snapshot, bool) {
+	return js.inner.Latest()
+}

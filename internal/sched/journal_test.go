@@ -1,0 +1,484 @@
+package sched
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// appendRaw frames body as a journal record and appends it verbatim,
+// bypassing Append's version stamping — for records replay must skip.
+func appendRaw(t *testing.T, dir string, body []byte) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(dir, journalFileName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := checkpoint.Snapshot{Algorithm: "ATDCA", Round: 3, Payload: []byte{1, 2, 3}}
+	rep := &core.RunReport{Algorithm: core.ATDCA, WallTime: 1.5, Attempts: 1, ResumedFromRound: 3}
+	records := []Record{
+		{Type: recSubmitted, Job: "job-1", Request: json.RawMessage(`{"algorithm":"atdca"}`), CacheKey: "k1"},
+		{Type: recStarted, Job: "job-1", Attempt: 1},
+		{Type: recCheckpointed, Job: "job-1", Round: 3, Snapshot: checkpoint.Encode(snap)},
+		{Type: recSubmitted, Job: "job-2", Request: json.RawMessage(`{"algorithm":"pct"}`)},
+		{Type: recStarted, Job: "job-1", Attempt: 2},
+		{Type: recFinished, Job: "job-1", State: string(StateCompleted), Report: marshalReport(rep)},
+	}
+	for _, rec := range records {
+		if err := jl.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	jobs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	j1 := jobs[0]
+	if j1.ID != "job-1" || !j1.Finished || j1.State != StateCompleted || j1.Attempts != 2 {
+		t.Fatalf("job-1 folded wrong: %+v", j1)
+	}
+	if j1.Report == nil || j1.Report.WallTime != 1.5 || j1.Report.ResumedFromRound != 3 {
+		t.Fatalf("job-1 report did not round-trip: %+v", j1.Report)
+	}
+	if j1.Snapshot != nil {
+		t.Fatal("finished job kept a resume snapshot")
+	}
+	j2 := jobs[1]
+	if j2.ID != "job-2" || j2.Finished || string(j2.Request) != `{"algorithm":"pct"}` {
+		t.Fatalf("job-2 folded wrong: %+v", j2)
+	}
+
+	// Reopening an existing journal appends after the old records.
+	jl, err = OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := checkpoint.Snapshot{Algorithm: "PCT", Round: 1, Payload: []byte{9}}
+	if err := jl.Append(Record{Type: recCheckpointed, Job: "job-2", Round: 1, Snapshot: checkpoint.Encode(snap2)}); err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+	jobs, err = ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[1].Snapshot == nil || jobs[1].Snapshot.Round != 1 {
+		t.Fatalf("append-after-reopen lost state: %+v", jobs[1])
+	}
+}
+
+func TestReplayMissingJournal(t *testing.T) {
+	jobs, err := ReplayJournal(t.TempDir())
+	if err != nil || jobs != nil {
+		t.Fatalf("missing journal: jobs=%v err=%v, want nil/nil", jobs, err)
+	}
+}
+
+// A torn final write — the crash artifact the journal exists to survive —
+// must truncate the readable log without dropping earlier records.
+func TestReplayTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	jl, _ := OpenJournal(dir)
+	jl.Append(Record{Type: recSubmitted, Job: "job-1"})
+	jl.Append(Record{Type: recSubmitted, Job: "job-2"})
+	jl.Close()
+	path := filepath.Join(dir, journalFileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(b) - 1; cut > len(b)-40; cut-- {
+		if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jobs, err := ReplayJournal(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(jobs) != 1 || jobs[0].ID != "job-1" {
+			t.Fatalf("cut=%d: replayed %+v, want exactly job-1", cut, jobs)
+		}
+	}
+}
+
+// A checksum-failing record ends the readable log; records before it
+// survive, and replay neither panics nor errors.
+func TestReplayCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	jl, _ := OpenJournal(dir)
+	jl.Append(Record{Type: recSubmitted, Job: "job-1"})
+	jl.Append(Record{Type: recSubmitted, Job: "job-2"})
+	jl.Append(Record{Type: recSubmitted, Job: "job-3"})
+	jl.Close()
+	path := filepath.Join(dir, journalFileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the second record's body (well past the header
+	// and the first record).
+	mid := journalHeaderLen + (len(b)-journalHeaderLen)/2
+	b[mid] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 || jobs[0].ID != "job-1" || len(jobs) >= 3 {
+		t.Fatalf("corrupt middle record: replayed %d jobs (%+v)", len(jobs), jobs)
+	}
+}
+
+// A record from an unknown schema version is validly framed, so replay
+// skips it and keeps folding the records around it.
+func TestReplaySkipsUnknownRecordVersion(t *testing.T) {
+	dir := t.TempDir()
+	jl, _ := OpenJournal(dir)
+	jl.Append(Record{Type: recSubmitted, Job: "job-1"})
+	jl.Close()
+	appendRaw(t, dir, []byte(`{"v":99,"type":"submitted","job":"job-9","future_field":true}`))
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Append(Record{Type: recFinished, Job: "job-1", State: string(StateFailed), Error: "boom"})
+	jl.Close()
+
+	jobs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "job-1" {
+		t.Fatalf("unknown-version record leaked into the fold: %+v", jobs)
+	}
+	if !jobs[0].Finished || jobs[0].State != StateFailed || jobs[0].Error != "boom" {
+		t.Fatalf("record after the skipped one was lost: %+v", jobs[0])
+	}
+}
+
+// A damaged header is unrecoverable: nothing after it can be trusted.
+func TestReplayRejectsBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	jl, _ := OpenJournal(dir)
+	jl.Append(Record{Type: recSubmitted, Job: "job-1"})
+	jl.Close()
+	path := filepath.Join(dir, journalFileName)
+	b, _ := os.ReadFile(path)
+	b[0] ^= 0xff
+	os.WriteFile(path, b, 0o644)
+	if _, err := ReplayJournal(dir); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := OpenJournal(dir); err == nil {
+		t.Fatal("OpenJournal accepted a bad header")
+	}
+}
+
+// A checkpointed record whose snapshot frame is damaged keeps the
+// previous good snapshot: an unreadable checkpoint is indistinguishable
+// from no checkpoint.
+func TestReplayIgnoresCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	jl, _ := OpenJournal(dir)
+	jl.Append(Record{Type: recSubmitted, Job: "job-1"})
+	good := checkpoint.Encode(checkpoint.Snapshot{Algorithm: "ATDCA", Round: 2, Payload: []byte{7}})
+	jl.Append(Record{Type: recCheckpointed, Job: "job-1", Round: 2, Snapshot: good})
+	bad := checkpoint.Encode(checkpoint.Snapshot{Algorithm: "ATDCA", Round: 3, Payload: []byte{8}})
+	bad[len(bad)-1] ^= 0xff // break the snapshot's own CRC
+	jl.Append(Record{Type: recCheckpointed, Job: "job-1", Round: 3, Snapshot: bad})
+	jl.Close()
+
+	jobs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Snapshot == nil || jobs[0].Snapshot.Round != 2 {
+		t.Fatalf("fold did not keep the last good snapshot: %+v", jobs)
+	}
+}
+
+// checkpointResumeSpec is a checkpointed fault job whose first attempt
+// dies mid-run, calibrated so the retry resumes from a checkpointed round.
+func checkpointResumeSpec(t testing.TB) JobSpec {
+	tiny, _ := testScenes(t)
+	spec := JobSpec{
+		Mode:        ModeRun,
+		Algorithm:   core.ATDCA,
+		Network:     retryNet(t, 4),
+		Cube:        tiny.Cube,
+		CubeDigest:  CubeDigest(tiny.Cube),
+		Checkpoint:  true,
+		MaxAttempts: 3,
+		Params:      core.Params{Targets: 4},
+	}
+	// Scale per-round compute above the fixed checkpoint-write latency
+	// (as on any realistically sized scene) and calibrate the crash to
+	// the middle of a clean run, so attempt 1 checkpoints some rounds
+	// before rank 2 dies.
+	spec.Params.WorkScale = 50
+	clean, err := core.Run(spec.Network, core.ATDCA, core.Hetero, tiny.Cube, spec.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Params.Faults = &fault.Plan{Crashes: []fault.Crash{{Rank: 2, At: clean.WallTime / 2, Attempt: 1}}}
+	return spec
+}
+
+// End-to-end through the scheduler: a journaled, checkpointed job crashes
+// mid-run, the retry resumes from the checkpointed round, and the journal
+// replays the whole story — attempts, resume round and final report.
+func TestSchedulerJournalsCheckpointedJob(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, Journal: jl, RetryBaseDelay: time.Millisecond, RetryMaxDelay: 5 * time.Millisecond})
+
+	spec := checkpointResumeSpec(t)
+	spec.JournalPayload = []byte(`{"algorithm":"atdca","checkpoint":true}`)
+	j, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != StateCompleted {
+		t.Fatalf("job settled as %s (err=%v)", j.State(), j.Err())
+	}
+	rep := j.Report()
+	if len(j.Attempts()) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(j.Attempts()))
+	}
+	if rep.ResumedFromRound < 1 || rep.ResumedFromRound >= spec.Params.Targets {
+		t.Fatalf("resumed from round %d, want mid-run in [1,%d)", rep.ResumedFromRound, spec.Params.Targets)
+	}
+	if j.FromCache() {
+		t.Fatal("checkpointed job was served from cache")
+	}
+	s.Close()
+	jl.Close()
+
+	jobs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("replayed %d jobs, want 1", len(jobs))
+	}
+	jj := jobs[0]
+	if jj.ID != j.ID() || !jj.Finished || jj.State != StateCompleted || jj.Attempts != 2 {
+		t.Fatalf("journal story wrong: %+v", jj)
+	}
+	if string(jj.Request) != string(spec.JournalPayload) {
+		t.Fatalf("request document did not round-trip: %q", jj.Request)
+	}
+	if jj.Report == nil || jj.Report.ResumedFromRound != rep.ResumedFromRound || jj.Report.WallTime != rep.WallTime {
+		t.Fatalf("journaled report = %+v, want resume round %d", jj.Report, rep.ResumedFromRound)
+	}
+}
+
+// Drain semantics: a running job is cancelled without a finished record,
+// so a second scheduler over the same journal resumes it — same ID, seeded
+// from its last checkpointed round — while a plain Close journals the
+// cancellation as terminal.
+func TestDrainDefersRunningJobToNextBoot(t *testing.T) {
+	_, big := testScenes(t)
+	dir := t.TempDir()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, Journal: jl})
+
+	spec := JobSpec{
+		Mode:       ModeRun,
+		Algorithm:  core.ATDCA,
+		Network:    retryNet(t, 4),
+		Cube:       big.Cube,
+		CubeDigest: CubeDigest(big.Cube),
+		Checkpoint: true,
+		Params:     core.Params{Targets: 8},
+	}
+	spec.JournalPayload = []byte(`{"algorithm":"atdca","targets":8}`)
+	j, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	s.Drain()
+	jl.Close()
+	if j.State() != StateCancelled {
+		t.Fatalf("drained job settled as %s", j.State())
+	}
+	if _, err := s.Submit(context.Background(), tinySpec(t)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit during/after drain = %v, want ErrClosed", err)
+	}
+
+	jobs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Finished {
+		t.Fatalf("drained job journaled as finished: %+v", jobs)
+	}
+
+	// Second boot: resume under the original ID and run to completion.
+	jl2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Workers: 1, Journal: jl2})
+	defer func() { s2.Close(); jl2.Close() }()
+	resumed, err := s2.SubmitResumed(context.Background(), jobs[0], spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ID() != j.ID() {
+		t.Fatalf("resumed under id %s, want %s", resumed.ID(), j.ID())
+	}
+	if _, err := s2.Wait(context.Background(), resumed.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.State() != StateCompleted {
+		t.Fatalf("resumed job settled as %s (err=%v)", resumed.State(), resumed.Err())
+	}
+	// If the first boot got far enough to checkpoint, the resumed run
+	// must start past round zero; either way it completes with targets.
+	if jobs[0].Snapshot != nil && resumed.Report().ResumedFromRound == 0 {
+		t.Fatalf("journal held round-%d snapshot but the resumed run started from scratch", jobs[0].Snapshot.Round)
+	}
+	if got := len(resumed.Report().Detection.Targets); got != spec.Params.Targets {
+		t.Fatalf("resumed run found %d targets, want %d", got, spec.Params.Targets)
+	}
+	// Fresh submissions never collide with the recovered ID.
+	fresh, err := s2.Submit(context.Background(), tinySpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobNumber(fresh.ID()) <= jobNumber(resumed.ID()) {
+		t.Fatalf("fresh job id %s did not advance past recovered %s", fresh.ID(), resumed.ID())
+	}
+}
+
+// A finished job restores as queryable history with its journaled report,
+// and a completed cacheable result re-seeds the result cache.
+func TestRestoreFinishedJob(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, Journal: jl})
+	spec := tinySpec(t)
+	j, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	jl.Close()
+
+	jobs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || !jobs[0].Finished || jobs[0].State != StateCompleted {
+		t.Fatalf("journal story wrong: %+v", jobs)
+	}
+
+	s2 := New(Config{Workers: 1})
+	defer s2.Close()
+	restored, err := s2.RestoreFinished(jobs[0], spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.State() != StateCompleted || restored.Report() == nil {
+		t.Fatalf("restored job: state=%s report=%v", restored.State(), restored.Report())
+	}
+	got, err := s2.Job(j.ID())
+	if err != nil || got != restored {
+		t.Fatalf("restored job not queryable by id: %v", err)
+	}
+	if _, err := s2.RestoreFinished(jobs[0], spec); err == nil {
+		t.Fatal("duplicate restore accepted")
+	}
+	// The journaled result serves an identical resubmission from cache.
+	rerun, err := s2.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Wait(context.Background(), rerun.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if !rerun.FromCache() {
+		t.Fatal("restored result did not re-seed the cache")
+	}
+}
+
+// Jobs lists everything the scheduler knows in ascending job order.
+func TestJobsListing(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	var want []string
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(context.Background(), tinySpec(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, j.ID())
+		if _, err := s.Wait(context.Background(), j.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs := s.Jobs()
+	if len(jobs) != len(want) {
+		t.Fatalf("listed %d jobs, want %d", len(jobs), len(want))
+	}
+	for i, j := range jobs {
+		if j.ID() != want[i] {
+			t.Fatalf("listing order: got %s at %d, want %s", j.ID(), i, want[i])
+		}
+	}
+}

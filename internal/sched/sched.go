@@ -24,10 +24,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/mpi"
@@ -147,6 +150,19 @@ type JobSpec struct {
 	Label string
 	// NoCache bypasses the result cache for this job.
 	NoCache bool
+	// Checkpoint enables round-boundary checkpointing: every execution
+	// attempt saves the master's round state to a per-job store, so
+	// scheduler retries (and, with a journal, re-runs after a process
+	// restart) resume from the last completed round instead of round
+	// zero. Checkpointed jobs bypass the result cache — their reports
+	// carry checkpoint overhead and resume state that depend on the
+	// store's history, not on the spec alone.
+	Checkpoint bool
+	// JournalPayload optionally carries the job's raw submission document
+	// (for hyperhetd, the verbatim POST /submit body) into the journal's
+	// submitted record, letting a restarted server rebuild the spec and
+	// resubmit the job. Ignored when the scheduler has no journal.
+	JournalPayload []byte
 	// MaxAttempts bounds the scheduler-level execution attempts of the
 	// job, first run included (0 and 1 both mean a single attempt). A
 	// failed attempt is retried — after capped exponential backoff with
@@ -222,6 +238,13 @@ type Job struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	done     chan struct{}
+
+	// seed is the journal-recovered snapshot a resumed job starts from;
+	// ckpt is the job's checkpoint store, built by runJob when the spec
+	// asks for checkpointing and shared across the attempt loop so each
+	// retry resumes from the last completed round.
+	seed *checkpoint.Snapshot
+	ckpt checkpoint.Checkpointer
 
 	mu          sync.Mutex
 	state       State
@@ -413,6 +436,13 @@ type Config struct {
 	// histograms. Instrument names register once, so share a registry
 	// with at most one scheduler.
 	Registry *telemetry.Registry
+	// Journal, when non-nil, makes the scheduler durable: every job
+	// lifecycle edge (submitted, started, checkpointed, finished) is
+	// appended and fsync'd before the scheduler proceeds, and a restarted
+	// process rebuilds its state from ReplayJournal via RestoreFinished
+	// and SubmitResumed. The scheduler never closes the journal; its
+	// owner does, after Close or Drain returns.
+	Journal *Journal
 }
 
 func (cfg Config) withDefaults() Config {
@@ -462,10 +492,15 @@ type Stats struct {
 // Scheduler multiplexes analysis jobs over a worker pool. Create with
 // New; Close when done.
 type Scheduler struct {
-	cfg   Config
-	cache *resultCache
-	tel   *schedMetrics // nil when Config.Registry is nil
-	wg    sync.WaitGroup
+	cfg     Config
+	cache   *resultCache
+	tel     *schedMetrics // nil when Config.Registry is nil
+	journal *Journal      // nil when Config.Journal is nil
+	wg      sync.WaitGroup
+
+	// draining marks a Drain in progress: jobs cancelled from here on
+	// keep their unfinished journal story, so a restart resumes them.
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -496,6 +531,7 @@ func New(cfg Config) *Scheduler {
 		jobs: make(map[string]*Job),
 		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	s.journal = s.cfg.Journal
 	s.cache = newResultCache(s.cfg.CacheEntries)
 	if s.cfg.Registry != nil {
 		s.tel = newSchedMetrics(s, s.cfg.Registry)
@@ -516,12 +552,21 @@ func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	// Hash the cube outside the lock: admission stays cheap under
+	// contention even for large scenes.
+	return s.admit(ctx, spec, spec.cacheKey(), "", nil)
+}
+
+// admit enqueues a validated spec. A fresh submission (id == "") allocates
+// the next job ID and journals a submitted record before returning, so the
+// caller's acknowledgment is durable; a journal-replayed resubmission
+// passes the job's original id plus its recovered snapshot, keeps the
+// existing journal story and advances the ID counter past it.
+func (s *Scheduler) admit(ctx context.Context, spec JobSpec, key, id string, seed *checkpoint.Snapshot) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// Hash the cube outside the lock: admission stays cheap under
-	// contention even for large scenes.
-	key := spec.cacheKey()
+	resumed := id != ""
 
 	s.mu.Lock()
 	if s.closed {
@@ -536,6 +581,16 @@ func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		s.tel.rejectedInc()
 		return nil, ErrQueueFull
 	}
+	if resumed {
+		if _, ok := s.jobs[id]; ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("sched: job %s already known", id)
+		}
+		s.advanceIDLocked(id)
+	} else {
+		s.nextID++
+		id = fmt.Sprintf("job-%d", s.nextID)
+	}
 	timeout := spec.Timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -544,9 +599,8 @@ func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	if timeout > 0 {
 		jctx, jcancel = context.WithTimeout(ctx, timeout)
 	}
-	s.nextID++
 	j := &Job{
-		id:          fmt.Sprintf("job-%d", s.nextID),
+		id:          id,
 		spec:        spec,
 		cacheKey:    key,
 		ctx:         jctx,
@@ -554,6 +608,7 @@ func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		done:        make(chan struct{}),
 		state:       StateQueued,
 		submittedAt: time.Now(),
+		seed:        seed,
 	}
 	s.jobs[j.id] = j
 	s.queues[spec.Priority] = append(s.queues[spec.Priority], j)
@@ -562,11 +617,105 @@ func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	s.cond.Signal()
 	s.mu.Unlock()
 	s.tel.submittedInc()
+	if !resumed {
+		s.journalAppend(Record{Type: recSubmitted, Job: j.id, Request: spec.JournalPayload, CacheKey: key})
+	}
 
 	// A watcher finishes the job the moment its context dies while it is
 	// still queued, so expired jobs free queue capacity immediately
 	// instead of occupying a slot until a worker pops them.
 	go s.watchQueued(j)
+	return j, nil
+}
+
+// advanceIDLocked moves the ID counter past a replayed "job-N" so fresh
+// submissions never collide with recovered jobs.
+func (s *Scheduler) advanceIDLocked(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// SubmitResumed resubmits a journal-replayed unfinished job under its
+// original ID. The caller rebuilds the spec (for hyperhetd, by re-parsing
+// the recorded submission document); the job's checkpoint store is seeded
+// from the journal's latest snapshot, so execution resumes at the round
+// the previous process had checkpointed.
+func (s *Scheduler) SubmitResumed(ctx context.Context, jj *JournalJob, spec JobSpec) (*Job, error) {
+	if jj == nil || jj.ID == "" {
+		return nil, errors.New("sched: resumed job without an id")
+	}
+	if jj.Finished {
+		return nil, fmt.Errorf("sched: job %s already finished; restore it instead", jj.ID)
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	j, err := s.admit(ctx, spec, spec.cacheKey(), jj.ID, jj.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	if !jj.Submitted.IsZero() {
+		j.mu.Lock()
+		j.submittedAt = jj.Submitted
+		j.mu.Unlock()
+	}
+	s.tel.restoredInc("resumed")
+	return j, nil
+}
+
+// RestoreFinished reinstalls a journal-replayed finished job as queryable
+// history: its ID, terminal state, error and report come back exactly as
+// journaled, and a completed cacheable result re-seeds the result cache.
+// The spec (rebuilt by the caller, scene not required) only feeds the
+// status document.
+func (s *Scheduler) RestoreFinished(jj *JournalJob, spec JobSpec) (*Job, error) {
+	if jj == nil || jj.ID == "" || !jj.Finished {
+		return nil, errors.New("sched: restore needs a finished journal job")
+	}
+	if !jj.State.Final() {
+		return nil, fmt.Errorf("sched: job %s journaled non-final state %q", jj.ID, jj.State)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &Job{
+		id:          jj.ID,
+		spec:        spec,
+		cacheKey:    jj.CacheKey,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       jj.State,
+		submittedAt: jj.Submitted,
+		finishedAt:  jj.FinishedAt,
+		report:      jj.Report,
+		adaptive:    jj.Adaptive,
+	}
+	if jj.Error != "" {
+		j.err = errors.New(jj.Error)
+	}
+	close(j.done)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := s.jobs[j.id]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sched: job %s already known", j.id)
+	}
+	s.jobs[j.id] = j
+	s.finished = append(s.finished, j.id)
+	s.advanceIDLocked(j.id)
+	s.evictFinishedLocked()
+	s.mu.Unlock()
+
+	if jj.State == StateCompleted && jj.Report != nil && jj.CacheKey != "" {
+		s.cache.put(jj.CacheKey, cachedResult{report: jj.Report, adaptive: jj.Adaptive})
+	}
+	s.tel.restoredInc("finished")
 	return j, nil
 }
 
@@ -612,6 +761,32 @@ func (s *Scheduler) dequeue(j *Job) bool {
 		}
 	}
 	return false
+}
+
+// Jobs returns every job the scheduler knows — queued, running and
+// retained finished — in ascending job-number order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool {
+		na, nb := jobNumber(jobs[a].id), jobNumber(jobs[b].id)
+		if na != nb {
+			return na < nb
+		}
+		return jobs[a].id < jobs[b].id
+	})
+	return jobs
+}
+
+// jobNumber extracts N from "job-N" for sorting (0 for foreign IDs).
+func jobNumber(id string) uint64 {
+	var n uint64
+	fmt.Sscanf(id, "job-%d", &n)
+	return n
 }
 
 // Job looks up a job by ID.
@@ -707,6 +882,32 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
+// Drain shuts the scheduler down for a graceful restart: new submissions
+// are rejected with ErrClosed, queued and running jobs are cancelled
+// WITHOUT finished journal records — their journal stories stay open, so
+// the next process replays and resumes them from their last checkpointed
+// round — and every worker exits before Drain returns. Close, by
+// contrast, journals the cancellations: closed is abandoned, drained is
+// deferred.
+func (s *Scheduler) Drain() {
+	s.draining.Store(true)
+	s.Close()
+}
+
+// journalAppend writes one record to the journal, if any. An append
+// failure must not fail the job — the run's result is still correct, only
+// its durability is degraded — so errors are counted, not propagated.
+func (s *Scheduler) journalAppend(rec Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.tel.journalErrorInc()
+		return
+	}
+	s.tel.journalRecordInc(rec.Type)
+}
+
 // worker runs jobs until the scheduler closes.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
@@ -776,6 +977,19 @@ func (s *Scheduler) runJob(j *Job) {
 		hook(j)
 	}
 
+	// The checkpoint store outlives the attempt loop, so a retry resumes
+	// from the last round the failed attempt saved; with a journal, every
+	// snapshot is also persisted for resume across a process restart.
+	if j.spec.Checkpoint {
+		mem := &checkpoint.MemStore{}
+		mem.Seed(j.seed)
+		if s.journal != nil {
+			j.ckpt = &journaledStore{inner: mem, sched: s, job: j.id}
+		} else {
+			j.ckpt = mem
+		}
+	}
+
 	maxAttempts := j.spec.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
@@ -784,6 +998,7 @@ func (s *Scheduler) runJob(j *Job) {
 	var err error
 	for attempt := 1; ; attempt++ {
 		started := time.Now()
+		s.journalAppend(Record{Type: recStarted, Job: j.id, Attempt: attempt})
 		res, err = s.execute(j, attempt)
 		rec := AttemptRecord{
 			Attempt:  attempt,
@@ -841,8 +1056,12 @@ func (s *Scheduler) execute(j *Job, attempt int) (cachedResult, error) {
 	params := spec.Params
 	params.FaultAttempt = attempt
 	// The simulation instruments ride the context, not Params: Params is
-	// part of the cache key and must stay a pure value.
+	// part of the cache key and must stay a pure value. The checkpoint
+	// store travels the same way, for the same reason.
 	ctx := core.WithMetrics(j.ctx, s.tel.coreMetrics())
+	if j.ckpt != nil {
+		ctx = core.WithCheckpointer(ctx, j.ckpt)
+	}
 	switch spec.Mode {
 	case ModeAdaptive:
 		res.adaptive, err = core.RunAdaptiveContext(ctx, spec.Network, spec.Cube, params, spec.Adaptive)
@@ -899,6 +1118,20 @@ func (s *Scheduler) finish(j *Job, state State, res cachedResult, err error, fro
 	j.cancel() // release the context's timer resources
 	close(j.done)
 	s.tel.jobFinished(state, j.spec.Priority, latency)
+
+	// A job cancelled by a drain is deferred, not settled: no finished
+	// record, so the journal's open story makes the next boot resume it.
+	if !(state == StateCancelled && s.draining.Load()) {
+		rec := Record{Type: recFinished, Job: j.id, State: string(state)}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		if state == StateCompleted {
+			rec.Report = marshalReport(res.report)
+			rec.Adaptive = marshalAdaptive(res.adaptive)
+		}
+		s.journalAppend(rec)
+	}
 
 	s.mu.Lock()
 	switch state {

@@ -17,6 +17,9 @@ type schedMetrics struct {
 	cache     *telemetry.CounterVec   // result: hit | miss
 	finished  *telemetry.CounterVec   // state: completed | failed | cancelled
 	latency   *telemetry.HistogramVec // class: batch | interactive
+	journal   *telemetry.CounterVec   // type: submitted | started | checkpointed | finished
+	journalEr *telemetry.Counter
+	restored  *telemetry.CounterVec // disposition: finished | resumed
 
 	// core carries the simulation-level instruments; execute attaches it
 	// to each job's context.
@@ -58,6 +61,12 @@ func newSchedMetrics(s *Scheduler, reg *telemetry.Registry) *schedMetrics {
 		latency: reg.NewHistogramVec("hyperhet_sched_job_seconds",
 			"Job latency from submission to settlement, by priority class.",
 			telemetry.DefBuckets, "class"),
+		journal: reg.NewCounterVec("hyperhet_sched_journal_records_total",
+			"Job-journal records appended and fsync'd, by record type.", "type"),
+		journalEr: reg.NewCounter("hyperhet_sched_journal_errors_total",
+			"Job-journal append failures (the job proceeds; durability degrades)."),
+		restored: reg.NewCounterVec("hyperhet_sched_jobs_restored_total",
+			"Jobs rebuilt from a replayed journal, by disposition.", "disposition"),
 		core: core.NewMetrics(reg),
 	}
 }
@@ -81,6 +90,27 @@ func (m *schedMetrics) retryInc() {
 		return
 	}
 	m.retries.Inc()
+}
+
+func (m *schedMetrics) journalRecordInc(recType string) {
+	if m == nil {
+		return
+	}
+	m.journal.With(recType).Inc()
+}
+
+func (m *schedMetrics) journalErrorInc() {
+	if m == nil {
+		return
+	}
+	m.journalEr.Inc()
+}
+
+func (m *schedMetrics) restoredInc(disposition string) {
+	if m == nil {
+		return
+	}
+	m.restored.With(disposition).Inc()
 }
 
 func (m *schedMetrics) cacheResult(outcome string) {

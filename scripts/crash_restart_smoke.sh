@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Crash-restart smoke test: start hyperhetd with a journal, SIGTERM it in
+# the middle of a checkpointed job, restart it over the same journal, and
+# require the job to complete having resumed from a checkpointed round
+# (resumed_from_round > 0) instead of recomputing from scratch.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/hyperhetd" ./cmd/hyperhetd
+
+addr=127.0.0.1:18099
+wal="$workdir/journal/journal.wal"
+
+start_server() {
+  "$workdir/hyperhetd" -addr "$addr" -workers 1 -journal "$workdir/journal" &
+  pid=$!
+  for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "smoke: server never became healthy" >&2
+  exit 1
+}
+
+start_server
+
+# A checkpointed run of ~24 rounds: long enough that the kill below lands
+# early in the run on any machine.
+id=$(curl -fsS "http://$addr/submit" -d '{
+  "algorithm": "atdca", "mode": "run", "network": "fully-het",
+  "targets": 24, "checkpoint": true,
+  "scene": {"lines": 320, "samples": 128, "bands": 48, "seed": 7}
+}' | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "smoke: submit returned no job id" >&2; exit 1; }
+echo "smoke: submitted $id"
+
+# Interrupt once at least two rounds are durably checkpointed, so the
+# restart has a mid-run snapshot to resume from.
+ckpts=0
+for _ in $(seq 1 600); do
+  ckpts=$( (grep -ao '"type":"checkpointed"' "$wal" 2>/dev/null || true) | wc -l)
+  [ "$ckpts" -ge 2 ] && break
+  sleep 0.1
+done
+[ "$ckpts" -ge 2 ] || { echo "smoke: job never checkpointed (records: $ckpts)" >&2; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "smoke: drained mid-run after $ckpts checkpoint records"
+
+start_server
+
+state=""
+for _ in $(seq 1 3000); do
+  state=$(curl -fsS "http://$addr/jobs/$id" 2>/dev/null |
+    sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -1)
+  [ "$state" = "completed" ] && break
+  case "$state" in
+    failed|cancelled) echo "smoke: job settled as $state" >&2; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$state" = "completed" ] || { echo "smoke: job never completed (state: $state)" >&2; exit 1; }
+
+doc=$(curl -fsS "http://$addr/jobs/$id")
+resumed=$(printf '%s' "$doc" | sed -n 's/.*"resumed_from_round": \([0-9]*\).*/\1/p' | head -1)
+if [ -z "$resumed" ] || [ "$resumed" -le 0 ]; then
+  echo "smoke: resumed_from_round=$resumed, want > 0" >&2
+  printf '%s\n' "$doc" >&2
+  exit 1
+fi
+echo "smoke: restarted server resumed $id from round $resumed; OK"
