@@ -26,12 +26,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/experiments"
+	"repro/internal/flow"
 	"repro/internal/linalg"
 	"repro/internal/morph"
 	"repro/internal/mpi"
 	"repro/internal/partition"
 	"repro/internal/platform"
 	"repro/internal/scene"
+	"repro/internal/sched"
 )
 
 // Shared scenes, generated once.
@@ -699,6 +701,67 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/sec")
+		})
+	}
+}
+
+// --- Pipeline orchestration: fan-out DAGs through internal/flow -------
+
+// BenchmarkPipelineFanout measures end-to-end pipeline latency through
+// the flow engine at several fan-out widths: one scene stage feeding W
+// sequential ATDCA analyze stages plus a synthesize stage, on the
+// reduced WTC timing scene. The scheduler's result cache is disabled so
+// every iteration pays the full analysis cost; what remains on top of
+// W times the sequential run is the orchestration overhead (DAG
+// settling, journalless bookkeeping, synthesis scoring).
+func BenchmarkPipelineFanout(b *testing.B) {
+	_, timing, _ := benchScenes(b)
+	provide := func(scene.Config) (*scene.Scene, string, bool, error) {
+		return timing, sched.CubeDigest(timing.Cube), true, nil
+	}
+	params := core.DefaultParams()
+	params.Targets = 4
+	for _, width := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("width-%d", width), func(b *testing.B) {
+			s := NewScheduler(SchedulerConfig{Workers: 4, QueueDepth: 64, CacheEntries: -1})
+			defer s.Close()
+			eng, err := flow.New(flow.Config{Scheduler: s, Scenes: provide})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			spec := flow.PipelineSpec{Name: "bench-fanout"}
+			spec.Stages = append(spec.Stages, flow.StageSpec{
+				Name: "scene", Kind: flow.KindScene, Scene: timing.Config,
+			})
+			after := make([]string, 0, width)
+			for i := 0; i < width; i++ {
+				name := fmt.Sprintf("atdca-%d", i)
+				job := JobSpec{Mode: ModeSequential, Algorithm: ATDCA, Params: params, NoCache: true}
+				spec.Stages = append(spec.Stages, flow.StageSpec{
+					Name: name, Kind: flow.KindAnalyze, After: []string{"scene"}, Job: job,
+				})
+				after = append(after, name)
+			}
+			spec.Stages = append(spec.Stages, flow.StageSpec{
+				Name: "report", Kind: flow.KindSynthesize, After: after,
+			})
+			ctx := context.Background()
+			var vsec float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := eng.Submit(ctx, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				<-p.Done()
+				if err := p.Err(); err != nil {
+					b.Fatal(err)
+				}
+				vsec = p.Status().VirtualSeconds
+			}
+			b.StopTimer()
+			b.ReportMetric(vsec, "vsec")
 		})
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	hyperhet "repro"
 )
 
 // FuzzSubmitJSON drives the /submit decode-and-parse path with arbitrary
@@ -69,6 +71,86 @@ func FuzzSubmitJSON(f *testing.F) {
 		}
 		if spec.Timeout < 0 {
 			t.Fatalf("negative timeout survived parsing: %+v", spec)
+		}
+	})
+}
+
+// FuzzPipelineJSON drives the /pipelines decode-parse-validate path with
+// arbitrary bodies. The invariant: malformed input yields an error (the
+// handler's 400), never a panic; a pipeline that parses AND validates
+// has a well-formed DAG whose analyze stages sit within the server's
+// scene bounds. parsePipeline is pure — no scene is generated, no job is
+// submitted — so the fuzzer exercises the full admission path cheaply.
+func FuzzPipelineJSON(f *testing.F) {
+	seeds := []string{
+		fanoutPipeline,
+		slowPipeline,
+		`{}`,
+		`{"stages": []}`,
+		`{"name": "solo", "stages": [{"name": "s", "kind": "scene"}]}`,
+		`{"stages": [
+			{"name": "s", "kind": "scene", "scene": {"lines": 32, "samples": 32, "bands": 16, "seed": 1}},
+			{"name": "a", "kind": "analyze", "after": ["s"],
+			 "job": {"algorithm": "atdca", "network": "fully-het", "scaled": true}},
+			{"name": "z", "kind": "synthesize", "after": ["a"]}]}`,
+		`{"stages": [
+			{"name": "s", "kind": "scene"},
+			{"name": "a", "kind": "analyze", "after": ["s"],
+			 "job": {"algorithm": "ufcls", "faults": {"crashes": [{"rank": 2, "at": 0.5}], "max_attempts": 3}}}]}`,
+		// Defects the parser or validator must reject cleanly.
+		`{"stages": [{"name": "a", "kind": "analyze", "after": ["a"], "job": {"algorithm": "atdca"}}]}`,
+		`{"stages": [{"name": "s", "kind": "scene"}, {"name": "s", "kind": "scene"}]}`,
+		`{"stages": [
+			{"name": "x", "kind": "synthesize", "after": ["y"]},
+			{"name": "y", "kind": "synthesize", "after": ["x"]}]}`,
+		`{"stages": [{"name": "w", "kind": "mystery"}]}`,
+		`{"stages": [{"name": "s", "kind": "scene", "scene": {"lines": -1}}]}`,
+		`{"stages": [{"name": "s", "kind": "scene", "job": {"algorithm": "atdca"}}]}`,
+		`{"stages": [{"name": "a", "kind": "analyze", "after": ["s"],
+		  "job": {"algorithm": "atdca", "scene": {"seed": 4}}},
+		  {"name": "s", "kind": "scene"}]}`,
+		`{"stages": [{"kind": "scene"}]}`,
+		`{"unknown": 1}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		var req pipelineRequest
+		dec := json.NewDecoder(strings.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return // the handler 400s here
+		}
+		spec, err := parsePipeline(&req)
+		if err != nil {
+			return // the handler 400s here
+		}
+		order, err := spec.Validate(32)
+		if err != nil {
+			return // the engine rejects, the handler 400s
+		}
+		// A validated pipeline has a usable topological order …
+		if len(order) != len(spec.Stages) {
+			t.Fatalf("topo order covers %d of %d stages", len(order), len(spec.Stages))
+		}
+		seen := make(map[int]bool, len(order))
+		for _, i := range order {
+			if i < 0 || i >= len(spec.Stages) || seen[i] {
+				t.Fatalf("topo order %v is not a permutation", order)
+			}
+			seen[i] = true
+		}
+		// … and every scene stage is within the server's bounds.
+		for _, st := range spec.Stages {
+			if st.Kind != hyperhet.StageScene {
+				continue
+			}
+			voxels := int64(st.Scene.Lines) * int64(st.Scene.Samples) * int64(st.Scene.Bands)
+			if voxels <= 0 || voxels > maxSceneVoxels {
+				t.Fatalf("validated scene stage escapes the cap: %+v (%d voxels)", st.Scene, voxels)
+			}
 		}
 	})
 }

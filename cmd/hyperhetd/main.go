@@ -17,7 +17,15 @@
 //	GET  /jobs/{id}/trace  Chrome trace-event JSON of a traced run (submit
 //	                       with "trace": true); load in Perfetto
 //	POST /jobs/{id}/cancel abort a queued or running job
-//	GET  /stats            scheduler counters and server uptime
+//	POST /pipelines        submit a multi-stage analysis pipeline (a DAG
+//	                       of scene/analyze/synthesize stages); 202 with
+//	                       the initial status, 400 on an invalid DAG, 429
+//	                       at the active-pipeline cap, 503 while draining
+//	GET  /pipelines        list pipelines; ?state= filters, ?limit= caps
+//	GET  /pipelines/{id}   pipeline status: per-stage states, cache hits,
+//	                       synthesis results when done
+//	GET  /stats            scheduler counters, journal replay health and
+//	                       server uptime
 //	GET  /metrics          Prometheus text exposition of every instrument
 //	GET  /debug/pprof/*    Go runtime profiles (only with -pprof)
 //	GET  /healthz          liveness probe
@@ -41,15 +49,31 @@
 //
 //	"faults": {"crashes": [{"rank": 2, "at": 0.5}], "max_attempts": 3}
 //
-// With -journal DIR the server is durable: every job lifecycle edge is
-// appended to an fsync'd write-ahead log, and a restarted server replays
-// it — finished jobs come back as queryable history (completed results
-// re-seed the cache), unfinished jobs are resubmitted under their
-// original IDs and, when checkpointed ("checkpoint": true, or any fault
-// job with a retry budget or recovery), resume from their last completed
-// round. SIGTERM drains gracefully: submissions get 503, running jobs
-// checkpoint and stop without a terminal journal record, and the next
-// boot resumes them.
+// A pipeline composes those building blocks into one submission: scene
+// stages generate (or fetch) cubes, analyze stages fan algorithm runs
+// out over them through the scheduler (memoized in its result cache),
+// and synthesize stages score the reports against ground truth:
+//
+//	curl -s localhost:8080/pipelines -d '{
+//	  "stages": [
+//	    {"name": "scene", "kind": "scene", "scene": {"seed": 7}},
+//	    {"name": "atdca", "kind": "analyze", "after": ["scene"],
+//	     "job": {"algorithm": "ATDCA"}},
+//	    {"name": "report", "kind": "synthesize", "after": ["atdca"]}
+//	  ]
+//	}'
+//
+// With -journal DIR the server is durable: every job and pipeline
+// lifecycle edge is appended to an fsync'd write-ahead log, and a
+// restarted server replays it — finished work comes back as queryable
+// history (completed results re-seed the cache), unfinished jobs are
+// resubmitted under their original IDs and, when checkpointed
+// ("checkpoint": true, or any fault job with a retry budget or
+// recovery), resume from their last completed round; unfinished
+// pipelines resume with their journal-recorded completed stages
+// restored, re-running only the rest. SIGTERM drains gracefully:
+// submissions get 503, running work stops without terminal journal
+// records, and the next boot resumes it.
 package main
 
 import (
@@ -150,9 +174,10 @@ const (
 	maxSceneVoxels = 64 << 20
 )
 
-// server wires the scheduler to the HTTP API.
+// server wires the scheduler and the pipeline engine to the HTTP API.
 type server struct {
 	sched       *hyperhet.Scheduler
+	flow        *hyperhet.FlowEngine
 	journal     *hyperhet.SchedJournal // nil without -journal
 	reg         *hyperhet.TelemetryRegistry
 	logger      *slog.Logger
@@ -160,13 +185,19 @@ type server struct {
 	enablePprof bool
 	draining    atomic.Bool
 
+	// replayStats records what the boot-time journal replay read and
+	// dropped; nil without -journal. Surfaced in /stats.
+	replayStats *hyperhet.SchedReplayStats
+
 	mu     sync.Mutex
 	scenes map[hyperhet.SceneConfig]*sceneEntry
 }
 
-// sceneEntry is one generated scene plus its precomputed cache digest.
+// sceneEntry is one generated scene (cube plus ground truth — pipeline
+// synthesis stages score against the truth) with its precomputed cache
+// digest.
 type sceneEntry struct {
-	cube   *hyperhet.Cube
+	sc     *hyperhet.Scene
 	digest string
 }
 
@@ -183,10 +214,10 @@ func newServer(cfg hyperhet.SchedulerConfig, journalDir string) (*server, error)
 		start:  time.Now(),
 		scenes: make(map[hyperhet.SceneConfig]*sceneEntry),
 	}
-	var recovered []*hyperhet.JournalJob
+	var recovered *hyperhet.SchedJournalState
 	if journalDir != "" {
 		var err error
-		recovered, err = hyperhet.ReplaySchedJournal(journalDir)
+		recovered, err = hyperhet.ReplaySchedJournalState(journalDir)
 		if err != nil {
 			return nil, fmt.Errorf("replaying journal: %w", err)
 		}
@@ -197,7 +228,22 @@ func newServer(cfg hyperhet.SchedulerConfig, journalDir string) (*server, error)
 		cfg.Journal = s.journal
 	}
 	s.sched = hyperhet.NewScheduler(cfg)
-	s.replay(recovered)
+	var err error
+	s.flow, err = hyperhet.NewFlowEngine(hyperhet.FlowConfig{
+		Scheduler: s.sched,
+		Scenes:    s.provideScene,
+		Journal:   s.journal,
+		Registry:  reg,
+	})
+	if err != nil {
+		s.sched.Close()
+		return nil, err
+	}
+	if recovered != nil {
+		s.replayStats = &recovered.Stats
+		s.replay(recovered.Jobs)
+		s.replayPipelines(recovered.Pipelines)
+	}
 	return s, nil
 }
 
@@ -227,12 +273,12 @@ func (s *server) replay(jobs []*hyperhet.JournalJob) {
 			}
 			continue
 		}
-		entry, err := s.scene(sceneCfg)
+		entry, _, err := s.scene(sceneCfg)
 		if err != nil {
 			s.logger.Warn("journal replay: scene failed", "id", jj.ID, "error", err)
 			continue
 		}
-		spec.Cube = entry.cube
+		spec.Cube = entry.sc.Cube
 		spec.CubeDigest = entry.digest
 		if req.Scaled {
 			spec.Params = hyperhet.ScaledParams(spec.Params, sceneCfg)
@@ -250,14 +296,18 @@ func (s *server) replay(jobs []*hyperhet.JournalJob) {
 	}
 }
 
-// drain shuts the scheduler down gracefully ahead of process exit:
-// submissions are rejected, running jobs checkpoint and stop WITHOUT a
-// terminal journal record (the next boot resumes them), and the journal
-// is closed once the scheduler settles or the deadline passes.
+// drain shuts the server down gracefully ahead of process exit:
+// submissions are rejected, active pipelines and running jobs stop
+// WITHOUT terminal journal records (the next boot resumes them), and the
+// journal is closed once everything settles or the deadline passes. The
+// engine drains before the scheduler: cancelling pipelines releases
+// their stage jobs, so the scheduler's drain has nothing phantom to wait
+// on.
 func (s *server) drain(timeout time.Duration) {
 	s.draining.Store(true)
 	done := make(chan struct{})
 	go func() {
+		s.flow.Drain()
 		s.sched.Drain()
 		close(done)
 	}()
@@ -273,6 +323,7 @@ func (s *server) drain(timeout time.Duration) {
 }
 
 func (s *server) close() {
+	s.flow.Close()
 	s.sched.Close()
 	s.journal.Close()
 }
@@ -284,6 +335,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /pipelines", s.handlePipelineSubmit)
+	mux.HandleFunc("GET /pipelines", s.handlePipelines)
+	mux.HandleFunc("GET /pipelines/{id}", s.handlePipeline)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -385,12 +439,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Materialize the (validated, size-capped) scene only after the whole
 	// request parsed: parseSubmit allocates nothing.
-	entry, err := s.scene(sceneCfg)
+	entry, _, err := s.scene(sceneCfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	spec.Cube = entry.cube
+	spec.Cube = entry.sc.Cube
 	spec.CubeDigest = entry.digest
 	if req.Scaled {
 		spec.Params = hyperhet.ScaledParams(spec.Params, sceneCfg)
@@ -532,12 +586,13 @@ func parseSubmit(req *submitRequest) (hyperhet.JobSpec, hyperhet.SceneConfig, er
 	return spec, sceneCfg, nil
 }
 
-// scene returns the cached scene for cfg, generating it on first use.
-func (s *server) scene(cfg hyperhet.SceneConfig) (*sceneEntry, error) {
+// scene returns the cached scene for cfg, generating it on first use;
+// the second return reports a cache hit.
+func (s *server) scene(cfg hyperhet.SceneConfig) (*sceneEntry, bool, error) {
 	s.mu.Lock()
 	if entry, ok := s.scenes[cfg]; ok {
 		s.mu.Unlock()
-		return entry, nil
+		return entry, true, nil
 	}
 	s.mu.Unlock()
 
@@ -546,9 +601,9 @@ func (s *server) scene(cfg hyperhet.SceneConfig) (*sceneEntry, error) {
 	// duplicate generation race just wastes one generation.
 	sc, err := hyperhet.GenerateScene(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("scene generation: %w", err)
+		return nil, false, fmt.Errorf("scene generation: %w", err)
 	}
-	entry := &sceneEntry{cube: sc.Cube, digest: hyperhet.SchedCubeDigest(sc.Cube)}
+	entry := &sceneEntry{sc: sc, digest: hyperhet.SchedCubeDigest(sc.Cube)}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -557,7 +612,17 @@ func (s *server) scene(cfg hyperhet.SceneConfig) (*sceneEntry, error) {
 		s.scenes = make(map[hyperhet.SceneConfig]*sceneEntry)
 	}
 	s.scenes[cfg] = entry
-	return entry, nil
+	return entry, false, nil
+}
+
+// provideScene adapts the server's scene cache to the pipeline engine's
+// provider contract.
+func (s *server) provideScene(cfg hyperhet.SceneConfig) (*hyperhet.Scene, string, bool, error) {
+	entry, cached, err := s.scene(cfg)
+	if err != nil {
+		return nil, "", false, err
+	}
+	return entry.sc, entry.digest, cached, nil
 }
 
 // parseScene resolves the scene request against the reduced-WTC defaults
@@ -658,20 +723,14 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			hyperhet.JobFailed, hyperhet.JobCancelled:
 			filter = st
 		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown state %q", v))
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown state %q (want queued, running, completed, failed or cancelled)", v))
 			return
 		}
 	}
-	limit := maxJobsListing
-	if v := r.URL.Query().Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v))
-			return
-		}
-		if n < limit {
-			limit = n
-		}
+	limit, ok := parseLimit(w, r, maxJobsListing)
+	if !ok {
+		return
 	}
 	statuses := []hyperhet.JobStatus{}
 	for _, job := range s.sched.Jobs() {
@@ -760,11 +819,34 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "cancel requested"})
 }
 
+// parseLimit reads a validated positive ?limit= capped at max, writing
+// the 400 itself on a bad value. The second return is false after an
+// error response.
+func parseLimit(w http.ResponseWriter, r *http.Request, max int) (int, bool) {
+	limit := max
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("invalid limit %q (want a positive integer)", v))
+			return 0, false
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	return limit, true
+}
+
 // statsResponse is the body of GET /stats.
 type statsResponse struct {
 	hyperhet.SchedulerStats
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	ScenesCached  int     `json:"scenes_cached"`
+	// JournalReplay reports what the boot-time journal replay read and
+	// dropped (records folded, torn tails truncated, unknown schema
+	// versions and unreadable frames skipped); absent without -journal.
+	JournalReplay *hyperhet.SchedReplayStats `json:"journal_replay,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -775,6 +857,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SchedulerStats: s.sched.Stats(),
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		ScenesCached:   scenes,
+		JournalReplay:  s.replayStats,
 	})
 }
 

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	hyperhet "repro"
+)
+
+// pipelineRequest is the body of POST /pipelines: a named DAG of stages.
+//
+//	{
+//	  "name": "table3+4",
+//	  "stages": [
+//	    {"name": "scene", "kind": "scene",
+//	     "scene": {"lines": 64, "samples": 32, "bands": 32, "seed": 7}},
+//	    {"name": "atdca", "kind": "analyze", "after": ["scene"],
+//	     "job": {"algorithm": "ATDCA", "network": "fully-het"}},
+//	    {"name": "report", "kind": "synthesize", "after": ["atdca"]}
+//	  ]
+//	}
+type pipelineRequest struct {
+	Name   string                 `json:"name"`
+	Stages []pipelineStageRequest `json:"stages"`
+}
+
+// pipelineStageRequest is one stage. Scene stages carry "scene"; analyze
+// stages carry "job" — a full submit document minus the scene, which
+// flows in from the upstream stage; synthesize stages carry only edges.
+type pipelineStageRequest struct {
+	Name  string         `json:"name"`
+	Kind  string         `json:"kind"`
+	After []string       `json:"after"`
+	Scene *sceneRequest  `json:"scene"`
+	Job   *submitRequest `json:"job"`
+}
+
+// parsePipeline resolves a pipeline request into a flow PipelineSpec. It
+// is pure — analyze stages reuse parseSubmit, scene stages reuse
+// parseScene, nothing is allocated or generated — so the fuzzer drives
+// it directly; DAG-shape defects are left to PipelineSpec.Validate.
+func parsePipeline(req *pipelineRequest) (hyperhet.PipelineSpec, error) {
+	spec := hyperhet.PipelineSpec{Name: req.Name}
+	for i := range req.Stages {
+		sr := &req.Stages[i]
+		st := hyperhet.StageSpec{
+			Name:  sr.Name,
+			Kind:  hyperhet.StageKind(strings.ToLower(sr.Kind)),
+			After: sr.After,
+		}
+		switch st.Kind {
+		case hyperhet.StageScene:
+			if sr.Job != nil {
+				return spec, fmt.Errorf("stage %q: a scene stage takes no job", sr.Name)
+			}
+			var scReq sceneRequest
+			if sr.Scene != nil {
+				scReq = *sr.Scene
+			}
+			cfg, err := parseScene(scReq)
+			if err != nil {
+				return spec, fmt.Errorf("stage %q: %w", sr.Name, err)
+			}
+			st.Scene = cfg
+		case hyperhet.StageAnalyze:
+			if sr.Job == nil {
+				return spec, fmt.Errorf("stage %q: an analyze stage needs a job", sr.Name)
+			}
+			if sr.Scene != nil || sr.Job.Scene != (sceneRequest{}) {
+				return spec, fmt.Errorf("stage %q: the scene comes from the upstream stage, not the job", sr.Name)
+			}
+			jobSpec, _, err := parseSubmit(sr.Job)
+			if err != nil {
+				return spec, fmt.Errorf("stage %q: %w", sr.Name, err)
+			}
+			st.Job = jobSpec
+			st.Scaled = sr.Job.Scaled
+		case hyperhet.StageSynthesize:
+			if sr.Job != nil || sr.Scene != nil {
+				return spec, fmt.Errorf("stage %q: a synthesize stage takes only dependencies", sr.Name)
+			}
+		}
+		// Unknown kinds pass through for Validate's canonical error.
+		spec.Stages = append(spec.Stages, st)
+	}
+	return spec, nil
+}
+
+func (s *server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	var req pipelineRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := parsePipeline(&req)
+	if err != nil {
+		s.logger.Warn("pipeline rejected", "error", err)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.journal != nil {
+		spec.JournalPayload = body
+	}
+	// Pipelines outlive the submit request: derive from Background, not
+	// r.Context().
+	p, err := s.flow.Submit(context.Background(), spec)
+	switch {
+	case errors.Is(err, hyperhet.ErrInvalidPipeline):
+		s.logger.Warn("pipeline rejected", "error", err)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, hyperhet.ErrTooManyPipelines):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, hyperhet.ErrFlowEngineClosed), errors.Is(err, hyperhet.ErrSchedulerClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.logger.Info("pipeline submitted", "id", p.ID(), "stages", len(spec.Stages), "name", spec.Name)
+	writeJSON(w, http.StatusAccepted, p.Status())
+}
+
+// maxPipelinesListing caps GET /pipelines responses; pass ?limit= for
+// less.
+const maxPipelinesListing = 200
+
+// handlePipelines lists the pipelines the engine knows — running and
+// retained finished — oldest first, optionally filtered by ?state= and
+// capped by ?limit=.
+func (s *server) handlePipelines(w http.ResponseWriter, r *http.Request) {
+	var filter hyperhet.PipelineState
+	if v := r.URL.Query().Get("state"); v != "" {
+		switch st := hyperhet.PipelineState(v); st {
+		case "running", "completed", "failed", "cancelled":
+			filter = st
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown state %q (want running, completed, failed or cancelled)", v))
+			return
+		}
+	}
+	limit, ok := parseLimit(w, r, maxPipelinesListing)
+	if !ok {
+		return
+	}
+	statuses := []hyperhet.PipelineStatus{}
+	for _, p := range s.flow.Pipelines() {
+		st := p.Status()
+		if filter != "" && st.State != filter {
+			continue
+		}
+		statuses = append(statuses, st)
+		if len(statuses) >= limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pipelines": statuses, "count": len(statuses)})
+}
+
+func (s *server) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	p, err := s.flow.Pipeline(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p.Status())
+}
+
+// replayPipelines reinstalls journaled pipelines into the fresh engine:
+// finished ones as queryable history, unfinished ones as live
+// resubmissions under their original IDs — completed stages restored
+// from their journal records, the rest re-run. As with jobs, a pipeline
+// whose recorded submission no longer parses is logged and skipped.
+func (s *server) replayPipelines(pipes []*hyperhet.JournalPipeline) {
+	for _, jp := range pipes {
+		if jp.Finished {
+			if _, err := s.flow.RestoreFinished(jp); err != nil {
+				s.logger.Warn("journal replay: pipeline restore failed", "id", jp.ID, "error", err)
+			} else {
+				s.logger.Info("journal replay: pipeline restored", "id", jp.ID, "state", jp.State)
+			}
+			continue
+		}
+		var req pipelineRequest
+		if err := json.Unmarshal(jp.Request, &req); err != nil {
+			s.logger.Warn("journal replay: unreadable pipeline request", "id", jp.ID, "error", err)
+			continue
+		}
+		spec, err := parsePipeline(&req)
+		if err != nil {
+			s.logger.Warn("journal replay: bad pipeline request", "id", jp.ID, "error", err)
+			continue
+		}
+		spec.JournalPayload = jp.Request
+		if _, err := s.flow.SubmitResumed(context.Background(), jp, spec); err != nil {
+			s.logger.Warn("journal replay: pipeline resume failed", "id", jp.ID, "error", err)
+			continue
+		}
+		s.logger.Info("journal replay: pipeline resumed", "id", jp.ID, "stages_done", len(jp.Stages))
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"io"
 	"log/slog"
+	"runtime"
 
 	"repro/internal/algo"
 	"repro/internal/checkpoint"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/flow"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/platform"
@@ -510,3 +512,100 @@ func RenderTable8(r *ThunderheadResult) string { return report.Table8(r) }
 
 // RenderFigure2 prints the Thunderhead speedup series and an ASCII plot.
 func RenderFigure2(r *ThunderheadResult) string { return report.Figure2(r) }
+
+// Pipelines: multi-stage analysis workflows over the scheduler. A
+// pipeline is a DAG of named stages — scene generations, algorithm runs,
+// accuracy syntheses — executed concurrently wherever dependencies
+// allow, with per-stage memoization through the scheduler's result cache
+// and, when paired with a journal, durable resume across restarts.
+type (
+	// FlowEngine orchestrates pipelines over a Scheduler.
+	FlowEngine = flow.Engine
+	// FlowConfig parameterizes NewFlowEngine.
+	FlowConfig = flow.Config
+	// FlowSceneProvider materializes scene stages (hyperhetd passes its
+	// scene cache; nil generates fresh scenes).
+	FlowSceneProvider = flow.SceneProvider
+	// PipelineSpec describes one pipeline submission.
+	PipelineSpec = flow.PipelineSpec
+	// StageSpec describes one pipeline stage.
+	StageSpec = flow.StageSpec
+	// StageKind is the type of work a stage performs (and the DAG's edge
+	// type system).
+	StageKind = flow.StageKind
+	// FlowPipeline is one submitted pipeline.
+	FlowPipeline = flow.Pipeline
+	// PipelineState is a pipeline's lifecycle state.
+	PipelineState = flow.PipelineState
+	// PipelineStatus is a JSON-shaped snapshot of a pipeline.
+	PipelineStatus = flow.PipelineStatus
+	// StageStatus is a JSON-shaped snapshot of one stage.
+	StageStatus = flow.StageStatus
+	// Synthesis is a synthesize stage's output: upstream reports scored
+	// against ground truth (the Table 3 + Table 4 story) plus timing.
+	Synthesis = flow.Synthesis
+	// JournalPipeline is one pipeline's folded journal story from a
+	// replay: feed unfinished ones to FlowEngine.SubmitResumed and
+	// finished ones to FlowEngine.RestoreFinished.
+	JournalPipeline = sched.JournalPipeline
+	// SchedJournalState is a full journal replay: job stories, pipeline
+	// stories and replay health counters.
+	SchedJournalState = sched.JournalState
+	// SchedReplayStats counts what a journal replay read and dropped.
+	SchedReplayStats = sched.ReplayStats
+)
+
+// Stage kinds.
+const (
+	StageScene      = flow.KindScene
+	StageAnalyze    = flow.KindAnalyze
+	StageSynthesize = flow.KindSynthesize
+)
+
+// Pipeline admission and lookup errors.
+var (
+	ErrInvalidPipeline  = flow.ErrInvalidPipeline
+	ErrTooManyPipelines = flow.ErrTooManyPipelines
+	ErrUnknownPipeline  = flow.ErrUnknownPipeline
+	ErrFlowEngineClosed = flow.ErrEngineClosed
+)
+
+// NewFlowEngine starts a pipeline engine over cfg.Scheduler; Close it
+// when done (before the scheduler).
+func NewFlowEngine(cfg FlowConfig) (*FlowEngine, error) { return flow.New(cfg) }
+
+// ReplaySchedJournalState folds the journal in dir into job stories,
+// pipeline stories and replay counters. A missing journal yields
+// (nil, nil); a torn tail truncates the readable log without error.
+func ReplaySchedJournalState(dir string) (*SchedJournalState, error) {
+	return sched.ReplayJournalState(dir)
+}
+
+// RunPipeline executes one pipeline on a private scheduler and engine,
+// blocking until it settles or ctx is cancelled. The returned status
+// carries every stage's outcome, including synthesize-stage payloads;
+// the error is the pipeline's terminal error, nil on completion. For
+// repeated submissions sharing cached results, hold a NewFlowEngine over
+// a NewScheduler instead.
+func RunPipeline(ctx context.Context, spec PipelineSpec) (PipelineStatus, error) {
+	workers := len(spec.Stages)
+	if n := runtime.NumCPU(); workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := sched.New(sched.Config{Workers: workers, QueueDepth: 2 * len(spec.Stages)})
+	defer s.Close()
+	e, err := flow.New(flow.Config{Scheduler: s, MaxStages: len(spec.Stages)})
+	if err != nil {
+		return PipelineStatus{}, err
+	}
+	defer e.Close()
+	p, err := e.Submit(ctx, spec)
+	if err != nil {
+		return PipelineStatus{}, err
+	}
+	<-p.Done()
+	return p.Status(), p.Err()
+}

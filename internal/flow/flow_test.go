@@ -1,0 +1,595 @@
+package flow
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scene"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// testSceneCfg is the shared tiny scene every test pipeline analyzes.
+var testSceneCfg = scene.Config{Lines: 24, Samples: 16, Bands: 8, Seed: 3}
+
+// analyzeJob is a fast sequential detector job template; the engine
+// fills Cube and CubeDigest from the upstream scene stage.
+func analyzeJob(alg core.Algorithm) sched.JobSpec {
+	return sched.JobSpec{
+		Mode:      sched.ModeSequential,
+		Algorithm: alg,
+		// The tiny scene has 8 bands; the default t=18 would degenerate.
+		Params: core.Params{Targets: 4},
+	}
+}
+
+// fanoutSpec is the canonical test pipeline: one scene, an ATDCA/UFCLS/
+// PCT/MORPH fan-out, and a synthesis stage folding all four.
+func fanoutSpec() PipelineSpec {
+	return PipelineSpec{
+		Name: "table3+4",
+		Stages: []StageSpec{
+			{Name: "scene", Kind: KindScene, Scene: testSceneCfg},
+			{Name: "atdca", Kind: KindAnalyze, After: []string{"scene"}, Job: analyzeJob(core.ATDCA)},
+			{Name: "ufcls", Kind: KindAnalyze, After: []string{"scene"}, Job: analyzeJob(core.UFCLS)},
+			{Name: "pct", Kind: KindAnalyze, After: []string{"scene"}, Job: analyzeJob(core.PCT)},
+			{Name: "morph", Kind: KindAnalyze, After: []string{"scene"}, Job: analyzeJob(core.MORPH)},
+			{Name: "report", Kind: KindSynthesize, After: []string{"atdca", "ufcls", "pct", "morph"}},
+		},
+	}
+}
+
+// countingProvider wraps the default provider and counts generations.
+func countingProvider(gen *atomic.Int64) SceneProvider {
+	var mu sync.Mutex
+	cache := map[scene.Config]*scene.Scene{}
+	return func(cfg scene.Config) (*scene.Scene, string, bool, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if sc, ok := cache[cfg]; ok {
+			return sc, sched.CubeDigest(sc.Cube), true, nil
+		}
+		gen.Add(1)
+		sc, err := scene.Generate(cfg)
+		if err != nil {
+			return nil, "", false, err
+		}
+		cache[cfg] = sc
+		return sc, sched.CubeDigest(sc.Cube), false, nil
+	}
+}
+
+func newTestEngine(t *testing.T, cfg Config) (*Engine, *sched.Scheduler) {
+	t.Helper()
+	s := sched.New(sched.Config{Workers: 4, QueueDepth: 64, CacheEntries: 32})
+	cfg.Scheduler = s
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		e.Close()
+		s.Close()
+	})
+	return e, s
+}
+
+func waitPipeline(t *testing.T, p *Pipeline) PipelineStatus {
+	t.Helper()
+	select {
+	case <-p.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("pipeline %s did not settle", p.ID())
+	}
+	return p.Status()
+}
+
+// --- Validation -------------------------------------------------------
+
+func TestValidateRejects(t *testing.T) {
+	sceneStage := StageSpec{Name: "s", Kind: KindScene, Scene: testSceneCfg}
+	an := func(name string, after ...string) StageSpec {
+		return StageSpec{Name: name, Kind: KindAnalyze, After: after, Job: analyzeJob(core.ATDCA)}
+	}
+	cases := []struct {
+		name    string
+		spec    PipelineSpec
+		wantSub string
+	}{
+		{"empty", PipelineSpec{}, "no stages"},
+		{"unnamed", PipelineSpec{Stages: []StageSpec{{Kind: KindScene}}}, "has no name"},
+		{"long name", PipelineSpec{Stages: []StageSpec{
+			{Name: strings.Repeat("x", maxStageName+1), Kind: KindScene},
+		}}, "exceeds"},
+		{"duplicate names", PipelineSpec{Stages: []StageSpec{
+			sceneStage, an("a", "s"), an("a", "s"),
+		}}, "duplicate stage name"},
+		{"self loop", PipelineSpec{Stages: []StageSpec{
+			sceneStage, an("a", "a"),
+		}}, "depends on itself"},
+		{"unknown ref", PipelineSpec{Stages: []StageSpec{
+			sceneStage, an("a", "ghost"),
+		}}, "unknown stage"},
+		{"duplicate edge", PipelineSpec{Stages: []StageSpec{
+			sceneStage, an("a", "s"),
+			{Name: "z", Kind: KindSynthesize, After: []string{"a", "a"}},
+		}}, "twice"},
+		{"cycle", PipelineSpec{Stages: []StageSpec{
+			sceneStage,
+			{Name: "a", Kind: KindAnalyze, After: []string{"b"}},
+			{Name: "b", Kind: KindAnalyze, After: []string{"a"}},
+		}}, "cycle"},
+		{"scene with deps", PipelineSpec{Stages: []StageSpec{
+			sceneStage, an("a", "s"),
+			{Name: "s2", Kind: KindScene, After: []string{"a"}},
+		}}, "cannot depend"},
+		{"analyze without scene", PipelineSpec{Stages: []StageSpec{
+			sceneStage, an("a", "s"), an("b", "a"),
+		}}, "not a scene"},
+		{"analyze with two deps", PipelineSpec{Stages: []StageSpec{
+			sceneStage, {Name: "s2", Kind: KindScene}, an("a", "s", "s2"),
+		}}, "exactly one"},
+		{"synthesize of scene", PipelineSpec{Stages: []StageSpec{
+			sceneStage,
+			{Name: "z", Kind: KindSynthesize, After: []string{"s"}},
+		}}, "not a run report"},
+		{"synthesize without deps", PipelineSpec{Stages: []StageSpec{
+			sceneStage, {Name: "z", Kind: KindSynthesize},
+		}}, "at least one"},
+		{"unknown kind", PipelineSpec{Stages: []StageSpec{
+			{Name: "w", Kind: StageKind("mystery")},
+		}}, "unknown kind"},
+		{"too many stages", PipelineSpec{Stages: []StageSpec{
+			sceneStage, an("a", "s"), an("b", "s"),
+		}}, "exceeds the limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			max := 32
+			if tc.name == "too many stages" {
+				max = 2
+			}
+			_, err := tc.spec.Validate(max)
+			if !errors.Is(err, ErrInvalidPipeline) {
+				t.Fatalf("err = %v, want ErrInvalidPipeline", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateDiamond(t *testing.T) {
+	// Diamond: scene -> {a, b} -> z. Kahn must order the scene first and
+	// the synthesis last regardless of edge listing order.
+	spec := PipelineSpec{Stages: []StageSpec{
+		{Name: "z", Kind: KindSynthesize, After: []string{"b", "a"}},
+		{Name: "a", Kind: KindAnalyze, After: []string{"s"}, Job: analyzeJob(core.ATDCA)},
+		{Name: "b", Kind: KindAnalyze, After: []string{"s"}, Job: analyzeJob(core.UFCLS)},
+		{Name: "s", Kind: KindScene, Scene: testSceneCfg},
+	}}
+	order, err := spec.Validate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for rank, i := range order {
+		pos[spec.Stages[i].Name] = rank
+	}
+	if pos["s"] != 0 {
+		t.Fatalf("scene ordered at %d, want first (order %v)", pos["s"], pos)
+	}
+	if pos["z"] != 3 {
+		t.Fatalf("synthesis ordered at %d, want last (order %v)", pos["z"], pos)
+	}
+}
+
+// --- Execution --------------------------------------------------------
+
+func TestFanoutPipelineCompletes(t *testing.T) {
+	var gens atomic.Int64
+	e, _ := newTestEngine(t, Config{Scenes: countingProvider(&gens)})
+
+	p, err := e.Submit(context.Background(), fanoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitPipeline(t, p)
+	if st.State != PipelineCompleted {
+		t.Fatalf("state = %s (err %q), want completed", st.State, st.Error)
+	}
+	if gens.Load() != 1 {
+		t.Fatalf("scene generated %d times, want exactly 1", gens.Load())
+	}
+	if st.StagesCompleted != 6 || st.StagesTotal != 6 {
+		t.Fatalf("stages = %d/%d, want 6/6", st.StagesCompleted, st.StagesTotal)
+	}
+	syn := p.Synthesis("report")
+	if syn == nil {
+		t.Fatal("synthesis stage produced nothing")
+	}
+	if len(syn.Detection) != 2 {
+		t.Fatalf("detection entries = %d, want 2 (atdca, ufcls)", len(syn.Detection))
+	}
+	if len(syn.Classification) != 2 {
+		t.Fatalf("classification entries = %d, want 2 (pct, morph)", len(syn.Classification))
+	}
+	if syn.TotalVirtualSeconds <= 0 {
+		t.Fatal("synthesis reports zero virtual time")
+	}
+	if len(syn.Timing) != 4 {
+		t.Fatalf("timing rows = %d, want 4", len(syn.Timing))
+	}
+	for label, sad := range syn.Detection["atdca"] {
+		if sad < 0 {
+			t.Fatalf("hot spot %s has negative SAD %v", label, sad)
+		}
+	}
+	for name, cs := range syn.Classification {
+		if cs.OverallPercent <= 0 || cs.OverallPercent > 100 {
+			t.Fatalf("%s overall = %v%%, want (0, 100]", name, cs.OverallPercent)
+		}
+	}
+}
+
+func TestResubmitHitsResultCache(t *testing.T) {
+	var gens atomic.Int64
+	e, _ := newTestEngine(t, Config{Scenes: countingProvider(&gens)})
+
+	first, err := e.Submit(context.Background(), fanoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitPipeline(t, first); st.CacheHits != 0 {
+		t.Fatalf("first run reported %d cache hits, want 0", st.CacheHits)
+	}
+
+	second, err := e.Submit(context.Background(), fanoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitPipeline(t, second)
+	if st.State != PipelineCompleted {
+		t.Fatalf("state = %s (err %q), want completed", st.State, st.Error)
+	}
+	// Scene (provider cache) + all four analyze stages (scheduler LRU).
+	if st.CacheHits != 5 {
+		t.Fatalf("cache hits = %d, want 5", st.CacheHits)
+	}
+	if st.VirtualSeconds != 0 {
+		t.Fatalf("fresh virtual seconds = %v, want 0 on a fully memoized rerun", st.VirtualSeconds)
+	}
+	if gens.Load() != 1 {
+		t.Fatalf("scene generated %d times across two pipelines, want 1", gens.Load())
+	}
+	for _, ss := range st.Stages {
+		if ss.Kind == KindAnalyze && !ss.FromCache {
+			t.Fatalf("analyze stage %s missed the result cache on rerun", ss.Name)
+		}
+	}
+}
+
+func TestUpstreamFailureSkipsDependents(t *testing.T) {
+	e, _ := newTestEngine(t, Config{})
+	spec := fanoutSpec()
+	// Sabotage one branch: an impossible target count fails validation in
+	// the simulator.
+	for i := range spec.Stages {
+		if spec.Stages[i].Name == "ufcls" {
+			spec.Stages[i].Job.Params.Targets = -4
+		}
+	}
+	p, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitPipeline(t, p)
+	if st.State != PipelineFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+	if p.Err() == nil || !strings.Contains(p.Err().Error(), "ufcls") {
+		t.Fatalf("pipeline error %v does not name the failed stage", p.Err())
+	}
+	byName := map[string]StageStatus{}
+	for _, ss := range st.Stages {
+		byName[ss.Name] = ss
+	}
+	if byName["ufcls"].State != StageFailed {
+		t.Fatalf("ufcls state = %s, want failed", byName["ufcls"].State)
+	}
+	if byName["report"].State != StageSkipped {
+		t.Fatalf("report state = %s, want skipped", byName["report"].State)
+	}
+	// Independent branches still finish: a fan-out reports every branch.
+	for _, name := range []string{"atdca", "pct", "morph"} {
+		if byName[name].State != StageCompleted {
+			t.Fatalf("%s state = %s, want completed despite sibling failure", name, byName[name].State)
+		}
+	}
+}
+
+func TestCancelPipeline(t *testing.T) {
+	e, _ := newTestEngine(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before any stage can finish
+	p, err := e.Submit(ctx, fanoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitPipeline(t, p)
+	if st.State != PipelineCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+}
+
+func TestEngineCaps(t *testing.T) {
+	e, _ := newTestEngine(t, Config{MaxActive: 1, MaxStages: 3})
+	if _, err := e.Submit(context.Background(), fanoutSpec()); !errors.Is(err, ErrInvalidPipeline) {
+		t.Fatalf("6-stage pipeline against MaxStages=3: err = %v, want ErrInvalidPipeline", err)
+	}
+	small := PipelineSpec{Stages: []StageSpec{
+		{Name: "s", Kind: KindScene, Scene: testSceneCfg},
+		{Name: "a", Kind: KindAnalyze, After: []string{"s"}, Job: analyzeJob(core.ATDCA)},
+	}}
+	p1, err := e.Submit(context.Background(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While p1 may still be active, a second submit can hit the cap; if
+	// p1 settles first, the second submit is simply admitted.
+	if _, err := e.Submit(context.Background(), small); err != nil && !errors.Is(err, ErrTooManyPipelines) {
+		t.Fatalf("err = %v, want nil or ErrTooManyPipelines", err)
+	}
+	waitPipeline(t, p1)
+	if _, err := e.Pipeline("pipe-999"); !errors.Is(err, ErrUnknownPipeline) {
+		t.Fatalf("unknown lookup err = %v, want ErrUnknownPipeline", err)
+	}
+}
+
+// --- Journal: durability, resume, restore ----------------------------
+
+func TestPipelineJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := sched.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := newTestEngine(t, Config{Journal: jl})
+
+	spec := fanoutSpec()
+	spec.JournalPayload = []byte(`{"doc":"original-submission"}`)
+	p, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitPipeline(t, p); st.State != PipelineCompleted {
+		t.Fatalf("state = %s, want completed", st.State)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	state, err := sched.ReplayJournalState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Pipelines) != 1 {
+		t.Fatalf("replayed %d pipelines, want 1", len(state.Pipelines))
+	}
+	jp := state.Pipelines[0]
+	if jp.ID != p.ID() || !jp.Finished || jp.State != string(PipelineCompleted) {
+		t.Fatalf("journal pipeline = %+v, want finished completed %s", jp, p.ID())
+	}
+	if string(jp.Request) != `{"doc":"original-submission"}` {
+		t.Fatalf("journal request = %s, want original payload", jp.Request)
+	}
+	if len(jp.Stages) != 6 {
+		t.Fatalf("journal recorded %d stage records, want 6", len(jp.Stages))
+	}
+	// Stage jobs must NOT have produced job records of their own.
+	if len(state.Jobs) != 0 {
+		t.Fatalf("stage jobs leaked %d job journal stories", len(state.Jobs))
+	}
+
+	// Restore the finished pipeline into a fresh engine as history.
+	e2, _ := newTestEngine(t, Config{})
+	rp, err := e2.RestoreFinished(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst := rp.Status()
+	if rst.State != PipelineCompleted || rst.StagesCompleted != 6 {
+		t.Fatalf("restored status = %s %d/6 completed", rst.State, rst.StagesCompleted)
+	}
+	if rst.Stages[5].Synthesis == nil {
+		t.Fatal("restored status lost the synthesis payload")
+	}
+	// Fresh IDs must advance past the restored one.
+	np, err := e2.Submit(context.Background(), fanoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.ID() == rp.ID() {
+		t.Fatalf("fresh pipeline reused restored ID %s", np.ID())
+	}
+	waitPipeline(t, np)
+}
+
+func TestDrainLeavesOpenStoryAndResumeSkipsCompletedStages(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := sched.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker and a gate: the scene completes, one analyze branch
+	// completes, the rest are parked when the drain hits.
+	s := sched.New(sched.Config{Workers: 1, QueueDepth: 64, CacheEntries: -1})
+	e, err := New(Config{Scheduler: s, Journal: jl})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := e.Submit(context.Background(), fanoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until at least one analyze stage has completed.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st := p.Status()
+		done := 0
+		for _, ss := range st.Stages {
+			if ss.Kind == KindAnalyze && ss.State == StageCompleted {
+				done++
+			}
+		}
+		if done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no analyze stage completed in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Graceful drain: engine first (cancels the pipeline without a
+	// terminal record), then the scheduler, then the journal.
+	e.Drain()
+	s.Drain()
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.State(); st != PipelineCancelled && st != PipelineFailed {
+		t.Fatalf("drained pipeline state = %s, want cancelled or failed", st)
+	}
+
+	state, err := sched.ReplayJournalState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Pipelines) != 1 {
+		t.Fatalf("replayed %d pipelines, want 1", len(state.Pipelines))
+	}
+	jp := state.Pipelines[0]
+	if jp.Finished {
+		t.Fatal("drained pipeline journaled a terminal record; story should stay open")
+	}
+	restoredStages := len(jp.Stages)
+	if restoredStages == 0 {
+		t.Fatal("no stage records journaled before the drain")
+	}
+
+	// Second boot: resume. Completed stages restore; the rest run.
+	var gens atomic.Int64
+	s2 := sched.New(sched.Config{Workers: 4, QueueDepth: 64, CacheEntries: -1})
+	e2, err := New(Config{Scheduler: s2, Scenes: countingProvider(&gens)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { e2.Close(); s2.Close() }()
+	rp, err := e2.SubmitResumed(context.Background(), jp, fanoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ID() != p.ID() {
+		t.Fatalf("resumed pipeline ID = %s, want original %s", rp.ID(), p.ID())
+	}
+	st := waitPipeline(t, rp)
+	if st.State != PipelineCompleted {
+		t.Fatalf("resumed state = %s (err %q), want completed", st.State, st.Error)
+	}
+	if !st.Resumed {
+		t.Fatal("resumed pipeline not marked resumed")
+	}
+	if st.StagesResumed != restoredStages {
+		t.Fatalf("stages resumed = %d, want %d (the journaled completions)", st.StagesResumed, restoredStages)
+	}
+	for _, ss := range st.Stages {
+		if ss.Resumed && ss.Kind == KindAnalyze && ss.VirtualSeconds <= 0 {
+			t.Fatalf("restored analyze stage %s lost its report", ss.Name)
+		}
+	}
+	if syn := rp.Synthesis("report"); syn == nil || len(syn.Timing) != 4 {
+		t.Fatal("resumed pipeline produced no complete synthesis")
+	}
+	// The scene regenerates at most once, and only if a pending stage
+	// needed it.
+	if gens.Load() > 1 {
+		t.Fatalf("resume regenerated the scene %d times", gens.Load())
+	}
+}
+
+func TestResumeIgnoresCorruptSeeds(t *testing.T) {
+	e, _ := newTestEngine(t, Config{})
+	jp := &sched.JournalPipeline{
+		ID: "pipe-7",
+		Stages: map[string]json.RawMessage{
+			"atdca": json.RawMessage(`{"kind":"scene"}`), // kind mismatch
+			"ufcls": json.RawMessage(`not json`),         // unreadable
+			"ghost": json.RawMessage(`{"kind":"analyze"}`),
+		},
+	}
+	p, err := e.SubmitResumed(context.Background(), jp, fanoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitPipeline(t, p)
+	if st.State != PipelineCompleted {
+		t.Fatalf("state = %s (err %q), want completed", st.State, st.Error)
+	}
+	if st.StagesResumed != 0 {
+		t.Fatalf("corrupt seeds restored %d stages, want 0 (all re-run)", st.StagesResumed)
+	}
+}
+
+// --- Telemetry --------------------------------------------------------
+
+func TestFlowTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e, _ := newTestEngine(t, Config{Registry: reg})
+	p, err := e.Submit(context.Background(), fanoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPipeline(t, p)
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`hyperhet_flow_pipelines_submitted_total 1`,
+		`hyperhet_flow_pipelines_finished_total{state="completed"} 1`,
+		`hyperhet_flow_stage_outcomes_total{outcome="completed"} 6`,
+		`hyperhet_flow_pipelines_active 0`,
+		`hyperhet_flow_stages_running 0`,
+		`hyperhet_flow_stage_cache_total{result="miss"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(out, `hyperhet_flow_stage_seconds_count{kind="analyze"} 4`) {
+		t.Errorf("stage latency histogram missing analyze observations:\n%s", grepLines(out, "stage_seconds_count"))
+	}
+}
+
+func grepLines(s, sub string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

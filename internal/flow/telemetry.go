@@ -1,0 +1,96 @@
+package flow
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// flowMetrics bundles the engine's instruments. As in the scheduler, a
+// nil *flowMetrics (no Config.Registry) is a valid no-op receiver
+// everywhere, so the orchestration path carries no telemetry
+// conditionals beyond a nil check.
+type flowMetrics struct {
+	submitted *telemetry.Counter
+	finished  *telemetry.CounterVec   // state: completed | failed | cancelled
+	outcomes  *telemetry.CounterVec   // outcome: completed | failed | skipped | resumed
+	cache     *telemetry.CounterVec   // result: hit | miss
+	latency   *telemetry.HistogramVec // kind: scene | analyze | synthesize
+	restored  *telemetry.CounterVec   // disposition: finished | resumed
+}
+
+// newFlowMetrics registers the engine's instruments against reg. The
+// gauges read the engine live at scrape time. Registering twice against
+// one registry panics by design: one engine per registry.
+func newFlowMetrics(e *Engine, reg *telemetry.Registry) *flowMetrics {
+	reg.NewGaugeFunc("hyperhet_flow_pipelines_active",
+		"Pipelines currently running.", func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(e.active)
+		})
+	reg.NewGaugeFunc("hyperhet_flow_stages_running",
+		"Pipeline stages currently executing, across all pipelines.", func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(e.running)
+		})
+	return &flowMetrics{
+		submitted: reg.NewCounter("hyperhet_flow_pipelines_submitted_total",
+			"Pipelines admitted (fresh and journal-resumed)."),
+		finished: reg.NewCounterVec("hyperhet_flow_pipelines_finished_total",
+			"Pipelines settled, by final state.", "state"),
+		outcomes: reg.NewCounterVec("hyperhet_flow_stage_outcomes_total",
+			"Stage settlements: completed and failed ran here; skipped lost an upstream dependency; resumed was restored from the journal.", "outcome"),
+		cache: reg.NewCounterVec("hyperhet_flow_stage_cache_total",
+			"Cache consultations by scene and analyze stages, by outcome. Hits skip recomputation entirely.", "result"),
+		latency: reg.NewHistogramVec("hyperhet_flow_stage_seconds",
+			"Stage latency from launch to settlement (real time, not simulated), by stage kind.",
+			telemetry.DefBuckets, "kind"),
+		restored: reg.NewCounterVec("hyperhet_flow_pipelines_restored_total",
+			"Pipelines rebuilt from a replayed journal, by disposition.", "disposition"),
+	}
+}
+
+func (m *flowMetrics) submittedInc() {
+	if m == nil {
+		return
+	}
+	m.submitted.Inc()
+}
+
+func (m *flowMetrics) pipelineFinished(state PipelineState) {
+	if m == nil {
+		return
+	}
+	m.finished.With(string(state)).Inc()
+}
+
+func (m *flowMetrics) stageFinished(kind StageKind, outcome string, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.outcomes.With(outcome).Inc()
+	m.latency.With(string(kind)).Observe(elapsed.Seconds())
+}
+
+func (m *flowMetrics) stageOutcome(outcome string) {
+	if m == nil {
+		return
+	}
+	m.outcomes.With(outcome).Inc()
+}
+
+func (m *flowMetrics) cacheResult(outcome string) {
+	if m == nil {
+		return
+	}
+	m.cache.With(outcome).Inc()
+}
+
+func (m *flowMetrics) restoredInc(disposition string) {
+	if m == nil {
+		return
+	}
+	m.restored.With(disposition).Inc()
+}

@@ -57,15 +57,35 @@ const (
 	recFinished     = "finished"
 )
 
+// Pipeline lifecycle record types, appended by the internal/flow engine
+// (exported because flow owns the record content while this package owns
+// the framing and the replay fold). Pipeline records set Record.Pipeline
+// and leave Record.Job empty, so the two folds never cross.
+const (
+	// RecPipelineSubmitted opens a pipeline's journal story; Request
+	// carries the raw submission document.
+	RecPipelineSubmitted = "pipeline_submitted"
+	// RecPipelineStage records one successfully completed stage; Stage
+	// names it and Report carries the flow-encoded stage result.
+	RecPipelineStage = "pipeline_stage"
+	// RecPipelineFinished closes the story with the terminal state and
+	// the final status document in Report.
+	RecPipelineFinished = "pipeline_finished"
+)
+
 // Record is one journal entry. Only the fields of its Type are set.
 type Record struct {
 	// V is the record schema version (recordVersion at write time).
 	V int `json:"v"`
 	// Type is the lifecycle edge: submitted, started, checkpointed or
-	// finished.
+	// finished for jobs; the RecPipeline* constants for pipelines.
 	Type string `json:"type"`
-	// Job is the scheduler-assigned job ID.
-	Job string `json:"job"`
+	// Job is the scheduler-assigned job ID (empty on pipeline records).
+	Job string `json:"job,omitempty"`
+	// Pipeline is the flow-engine pipeline ID (empty on job records).
+	Pipeline string `json:"pipeline,omitempty"`
+	// Stage is the stage name of a RecPipelineStage record.
+	Stage string `json:"stage,omitempty"`
 	// Time stamps the record (UTC; filled by Append when zero).
 	Time time.Time `json:"time"`
 
@@ -241,11 +261,74 @@ type JournalJob struct {
 	Snapshot *checkpoint.Snapshot
 }
 
+// JournalPipeline is one pipeline's folded journal story: the submission
+// document, every stage completed so far, and the terminal outcome if a
+// finished record closed the story. The flow engine interprets the raw
+// stage and status documents; this package only folds the frames.
+type JournalPipeline struct {
+	// ID is the pipeline's original flow-engine ID.
+	ID string
+	// Request is the raw submission document from the submitted record.
+	Request []byte
+	// Submitted is the original submission time.
+	Submitted time.Time
+	// Stages maps completed stage names to their flow-encoded results; a
+	// resumed pipeline restores these stages instead of re-running them.
+	Stages map[string]json.RawMessage
+	// Finished reports whether a finished record closed the story; the
+	// fields below are set only in that case.
+	Finished   bool
+	FinishedAt time.Time
+	// State is the terminal lifecycle state string of a finished pipeline.
+	State string
+	// Error is the terminal error message ("" on success).
+	Error string
+	// Status is the flow-encoded final status document.
+	Status json.RawMessage
+}
+
+// ReplayStats counts what a journal replay saw, the numbers hyperhetd
+// surfaces in /stats: records folded, torn-tail truncations (0 or 1 — a
+// damaged frame ends the readable log), records skipped for an unknown
+// schema version, and frames whose JSON would not parse.
+type ReplayStats struct {
+	// Records is the number of records decoded and folded.
+	Records int `json:"records_replayed"`
+	// TornTailTruncations is 1 when a truncated or checksum-failing frame
+	// ended the readable log early, 0 on a clean read.
+	TornTailTruncations int `json:"torn_tail_truncations"`
+	// UnknownVersionSkips counts intact frames written by another record
+	// schema version and skipped.
+	UnknownVersionSkips int `json:"unknown_version_skips"`
+	// UnreadableSkips counts intact frames whose JSON body would not
+	// parse.
+	UnreadableSkips int `json:"unreadable_skips"`
+}
+
+// JournalState is everything a replayed journal describes: job stories,
+// pipeline stories, and the replay counters.
+type JournalState struct {
+	Jobs      []*JournalJob
+	Pipelines []*JournalPipeline
+	Stats     ReplayStats
+}
+
 // ReplayJournal reads the journal in dir and folds it into per-job
 // stories, ordered by first appearance. A missing journal file yields
 // (nil, nil); a damaged tail truncates the readable log without error; a
 // damaged header is an error, since nothing after it can be trusted.
 func ReplayJournal(dir string) ([]*JournalJob, error) {
+	st, err := ReplayJournalState(dir)
+	if err != nil || st == nil {
+		return nil, err
+	}
+	return st.Jobs, nil
+}
+
+// ReplayJournalState reads the journal in dir and folds it into job and
+// pipeline stories plus replay counters. A missing journal file yields
+// (nil, nil); damaged-tail and header semantics match ReplayJournal.
+func ReplayJournalState(dir string) (*JournalState, error) {
 	b, err := os.ReadFile(filepath.Join(dir, journalFileName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
@@ -253,23 +336,26 @@ func ReplayJournal(dir string) ([]*JournalJob, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sched: reading journal: %w", err)
 	}
-	recs, err := decodeJournal(b)
+	recs, stats, err := decodeJournal(b)
 	if err != nil {
 		return nil, err
 	}
-	return foldJournal(recs), nil
+	st := &JournalState{Stats: stats}
+	st.Jobs, st.Pipelines = foldJournal(recs)
+	return st, nil
 }
 
 // decodeJournal parses the framed records, stopping — not failing — at the
 // first truncated or checksum-failing frame: beyond a damaged frame the
 // framing itself is untrustworthy, and a torn final write is the expected
 // crash artifact. Records with an unknown schema version are skipped.
-func decodeJournal(b []byte) ([]Record, error) {
+func decodeJournal(b []byte) ([]Record, ReplayStats, error) {
+	var stats ReplayStats
 	if len(b) < journalHeaderLen {
-		return nil, fmt.Errorf("sched: journal too short for a header (%d bytes)", len(b))
+		return nil, stats, fmt.Errorf("sched: journal too short for a header (%d bytes)", len(b))
 	}
 	if err := checkJournalHeader(b); err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	var recs []Record
 	off := journalHeaderLen
@@ -277,27 +363,38 @@ func decodeJournal(b []byte) ([]Record, error) {
 		n := binary.LittleEndian.Uint32(b[off:])
 		want := binary.LittleEndian.Uint32(b[off+4:])
 		if n > maxRecordLen || off+8+int(n) > len(b) {
-			break // corrupt length or truncated tail
+			stats.TornTailTruncations++ // corrupt length or truncated tail
+			break
 		}
 		body := b[off+8 : off+8+int(n)]
 		if crc32.ChecksumIEEE(body) != want {
-			break // torn or corrupted frame
+			stats.TornTailTruncations++ // torn or corrupted frame
+			break
 		}
 		off += 8 + int(n)
 		var rec Record
 		if err := json.Unmarshal(body, &rec); err != nil {
-			continue // frame intact, content unreadable: skip
+			stats.UnreadableSkips++ // frame intact, content unreadable: skip
+			continue
 		}
 		if rec.V != recordVersion {
-			continue // written by another schema: skip
+			stats.UnknownVersionSkips++ // written by another schema: skip
+			continue
 		}
 		recs = append(recs, rec)
+		stats.Records++
 	}
-	return recs, nil
+	// A partial trailing frame header (fewer than 8 bytes) is the same
+	// torn-write artifact as a truncated body.
+	if off+8 > len(b) && off != len(b) && stats.TornTailTruncations == 0 {
+		stats.TornTailTruncations++
+	}
+	return recs, stats, nil
 }
 
-// foldJournal reduces the record stream to each job's latest state.
-func foldJournal(recs []Record) []*JournalJob {
+// foldJournal reduces the record stream to each job's and each
+// pipeline's latest state.
+func foldJournal(recs []Record) ([]*JournalJob, []*JournalPipeline) {
 	byID := make(map[string]*JournalJob)
 	var order []*JournalJob
 	get := func(id string) *JournalJob {
@@ -309,7 +406,37 @@ func foldJournal(recs []Record) []*JournalJob {
 		order = append(order, jj)
 		return jj
 	}
+	pipeByID := make(map[string]*JournalPipeline)
+	var pipeOrder []*JournalPipeline
+	getPipe := func(id string) *JournalPipeline {
+		if jp, ok := pipeByID[id]; ok {
+			return jp
+		}
+		jp := &JournalPipeline{ID: id, Stages: make(map[string]json.RawMessage)}
+		pipeByID[id] = jp
+		pipeOrder = append(pipeOrder, jp)
+		return jp
+	}
 	for _, rec := range recs {
+		if rec.Pipeline != "" {
+			jp := getPipe(rec.Pipeline)
+			switch rec.Type {
+			case RecPipelineSubmitted:
+				jp.Request = rec.Request
+				jp.Submitted = rec.Time
+			case RecPipelineStage:
+				if rec.Stage != "" {
+					jp.Stages[rec.Stage] = rec.Report
+				}
+			case RecPipelineFinished:
+				jp.Finished = true
+				jp.FinishedAt = rec.Time
+				jp.State = rec.State
+				jp.Error = rec.Error
+				jp.Status = rec.Report
+			}
+			continue
+		}
 		if rec.Job == "" {
 			continue
 		}
@@ -347,7 +474,7 @@ func foldJournal(recs []Record) []*JournalJob {
 			}
 		}
 	}
-	return order
+	return order, pipeOrder
 }
 
 // marshalReport serializes a run report for a finished record with the

@@ -482,3 +482,73 @@ func TestJobsListing(t *testing.T) {
 		}
 	}
 }
+
+// ReplayJournalState exposes the replay health counters hyperhetd
+// surfaces in /stats: records folded, torn tails truncated, unknown
+// schema versions skipped.
+func TestReplayStatsCounters(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Append(Record{Type: recSubmitted, Job: "job-1"})
+	jl.Append(Record{Type: recFinished, Job: "job-1", State: string(StateCompleted)})
+	jl.Close()
+	// One validly framed record from a future schema, one torn write.
+	appendRaw(t, dir, []byte(`{"v":99,"type":"submitted","job":"job-9"}`))
+	f, err := os.OpenFile(filepath.Join(dir, journalFileName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{42, 0, 0, 0, 9, 9}); err != nil { // partial frame header
+		t.Fatal(err)
+	}
+	f.Close()
+
+	state, err := ReplayJournalState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReplayStats{Records: 2, TornTailTruncations: 1, UnknownVersionSkips: 1}
+	if state.Stats != want {
+		t.Fatalf("stats = %+v, want %+v", state.Stats, want)
+	}
+	if len(state.Jobs) != 1 || !state.Jobs[0].Finished {
+		t.Fatalf("fold lost the good story: %+v", state.Jobs)
+	}
+}
+
+// Pipeline records and job records fold into disjoint stories even when
+// interleaved in one journal file.
+func TestReplayFoldsPipelineRecords(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Append(Record{Type: RecPipelineSubmitted, Pipeline: "pipe-1", Request: []byte(`{"p":1}`)})
+	jl.Append(Record{Type: recSubmitted, Job: "job-1"})
+	jl.Append(Record{Type: RecPipelineStage, Pipeline: "pipe-1", Stage: "scene", Report: []byte(`{"kind":"scene"}`)})
+	jl.Append(Record{Type: RecPipelineStage, Pipeline: "pipe-1", Stage: "atdca", Report: []byte(`{"kind":"analyze"}`)})
+	jl.Append(Record{Type: RecPipelineFinished, Pipeline: "pipe-2", State: "completed", Report: []byte(`{"id":"pipe-2"}`)})
+	jl.Close()
+
+	state, err := ReplayJournalState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Jobs) != 1 || state.Jobs[0].ID != "job-1" {
+		t.Fatalf("jobs = %+v, want exactly job-1", state.Jobs)
+	}
+	if len(state.Pipelines) != 2 {
+		t.Fatalf("pipelines = %d, want 2", len(state.Pipelines))
+	}
+	p1, p2 := state.Pipelines[0], state.Pipelines[1]
+	if p1.ID != "pipe-1" || p1.Finished || len(p1.Stages) != 2 || string(p1.Request) != `{"p":1}` {
+		t.Fatalf("pipe-1 fold = %+v", p1)
+	}
+	if p2.ID != "pipe-2" || !p2.Finished || p2.State != "completed" {
+		t.Fatalf("pipe-2 fold = %+v", p2)
+	}
+}

@@ -158,6 +158,12 @@ type JobSpec struct {
 	// carry checkpoint overhead and resume state that depend on the
 	// store's history, not on the spec alone.
 	Checkpoint bool
+	// NoJournal suppresses this job's journal records even when the
+	// scheduler has one. Pipeline stage jobs set it: their durability is
+	// owned by the flow engine's pipeline records, and journaling the
+	// stage jobs too would make a restarted server resume the same work
+	// twice (once as an orphan job, once as a pipeline stage).
+	NoJournal bool
 	// JournalPayload optionally carries the job's raw submission document
 	// (for hyperhetd, the verbatim POST /submit body) into the journal's
 	// submitted record, letting a restarted server rebuild the spec and
@@ -617,7 +623,7 @@ func (s *Scheduler) admit(ctx context.Context, spec JobSpec, key, id string, see
 	s.cond.Signal()
 	s.mu.Unlock()
 	s.tel.submittedInc()
-	if !resumed {
+	if !resumed && !spec.NoJournal {
 		s.journalAppend(Record{Type: recSubmitted, Job: j.id, Request: spec.JournalPayload, CacheKey: key})
 	}
 
@@ -983,7 +989,7 @@ func (s *Scheduler) runJob(j *Job) {
 	if j.spec.Checkpoint {
 		mem := &checkpoint.MemStore{}
 		mem.Seed(j.seed)
-		if s.journal != nil {
+		if s.journal != nil && !j.spec.NoJournal {
 			j.ckpt = &journaledStore{inner: mem, sched: s, job: j.id}
 		} else {
 			j.ckpt = mem
@@ -998,7 +1004,9 @@ func (s *Scheduler) runJob(j *Job) {
 	var err error
 	for attempt := 1; ; attempt++ {
 		started := time.Now()
-		s.journalAppend(Record{Type: recStarted, Job: j.id, Attempt: attempt})
+		if !j.spec.NoJournal {
+			s.journalAppend(Record{Type: recStarted, Job: j.id, Attempt: attempt})
+		}
 		res, err = s.execute(j, attempt)
 		rec := AttemptRecord{
 			Attempt:  attempt,
@@ -1121,7 +1129,7 @@ func (s *Scheduler) finish(j *Job, state State, res cachedResult, err error, fro
 
 	// A job cancelled by a drain is deferred, not settled: no finished
 	// record, so the journal's open story makes the next boot resume it.
-	if !(state == StateCancelled && s.draining.Load()) {
+	if !j.spec.NoJournal && !(state == StateCancelled && s.draining.Load()) {
 		rec := Record{Type: recFinished, Job: j.id, State: string(state)}
 		if err != nil {
 			rec.Error = err.Error()

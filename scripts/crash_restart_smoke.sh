@@ -75,3 +75,69 @@ if [ -z "$resumed" ] || [ "$resumed" -le 0 ]; then
   exit 1
 fi
 echo "smoke: restarted server resumed $id from round $resumed; OK"
+
+# --- Pipeline leg: kill mid-pipeline, restart, resume without redoing
+# completed stages. A single worker serializes four analyze stages over
+# one shared scene; the kill lands after at least one stage's completion
+# record is durable but before the pipeline's finished record, so the
+# restarted server must restore the done stages from the journal
+# (stages_resumed > 0) and run only the remainder.
+
+pipe=$(curl -fsS "http://$addr/pipelines" -d '{
+  "name": "smoke-fanout",
+  "stages": [
+    {"name": "scene", "kind": "scene",
+     "scene": {"lines": 160, "samples": 96, "bands": 48, "seed": 11}},
+    {"name": "atdca", "kind": "analyze", "after": ["scene"],
+     "job": {"algorithm": "atdca", "mode": "run", "network": "fully-het", "targets": 18}},
+    {"name": "ufcls", "kind": "analyze", "after": ["scene"],
+     "job": {"algorithm": "ufcls", "mode": "run", "network": "fully-het", "targets": 18}},
+    {"name": "pct", "kind": "analyze", "after": ["scene"],
+     "job": {"algorithm": "pct", "mode": "run", "network": "fully-het"}},
+    {"name": "morph", "kind": "analyze", "after": ["scene"],
+     "job": {"algorithm": "morph", "mode": "run", "network": "fully-het"}},
+    {"name": "report", "kind": "synthesize", "after": ["atdca", "ufcls", "pct", "morph"]}
+  ]
+}' | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -1)
+[ -n "$pipe" ] || { echo "smoke: pipeline submit returned no id" >&2; exit 1; }
+echo "smoke: submitted pipeline $pipe"
+
+stages=0
+for _ in $(seq 1 600); do
+  stages=$( (grep -ao '"type":"pipeline_stage"' "$wal" 2>/dev/null || true) | wc -l)
+  [ "$stages" -ge 2 ] && break
+  sleep 0.1
+done
+[ "$stages" -ge 2 ] || { echo "smoke: no pipeline stage ever journaled" >&2; exit 1; }
+finished=$( (grep -ao '"type":"pipeline_finished"' "$wal" 2>/dev/null || true) | wc -l)
+[ "$finished" -eq 0 ] || { echo "smoke: pipeline finished before the kill; enlarge the scene" >&2; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "smoke: drained mid-pipeline after $stages stage records"
+
+start_server
+
+pstate=""
+for _ in $(seq 1 3000); do
+  pstate=$(curl -fsS "http://$addr/pipelines/$pipe" 2>/dev/null |
+    sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -1)
+  [ "$pstate" = "completed" ] && break
+  case "$pstate" in
+    failed|cancelled) echo "smoke: pipeline settled as $pstate" >&2; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$pstate" = "completed" ] || { echo "smoke: pipeline never completed (state: $pstate)" >&2; exit 1; }
+
+pdoc=$(curl -fsS "http://$addr/pipelines/$pipe")
+presumed=$(printf '%s' "$pdoc" | sed -n 's/.*"stages_resumed": \([0-9]*\).*/\1/p' | head -1)
+if [ -z "$presumed" ] || [ "$presumed" -lt "$stages" ]; then
+  echo "smoke: stages_resumed=$presumed, want >= $stages journaled stages" >&2
+  printf '%s\n' "$pdoc" >&2
+  exit 1
+fi
+printf '%s' "$pdoc" | grep -q '"synthesis"' ||
+  { echo "smoke: resumed pipeline carries no synthesis payload" >&2; exit 1; }
+echo "smoke: restarted server resumed $pipe with $presumed completed stages intact; OK"
