@@ -111,6 +111,7 @@ func main() {
 		pprofOn = flag.Bool("pprof", false, "expose Go runtime profiles at /debug/pprof/")
 		journal = flag.String("journal", "", "job-journal directory; enables durability and crash/restart resume")
 		drainTO = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
+		kernelW = flag.Int("kernel-workers", 0, "host goroutine budget for data-parallel kernels, shared across jobs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -126,6 +127,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hyperhetd: -timeout and -drain-timeout must not be negative")
 		os.Exit(2)
 	}
+	if *kernelW < 0 {
+		fmt.Fprintln(os.Stderr, "hyperhetd: -kernel-workers must not be negative")
+		os.Exit(2)
+	}
 
 	srv, err := newServer(hyperhet.SchedulerConfig{
 		Workers:        *workers,
@@ -133,6 +138,7 @@ func main() {
 		CacheEntries:   *cache,
 		RetainJobs:     *retain,
 		DefaultTimeout: *timeout,
+		KernelWorkers:  *kernelW,
 	}, *journal)
 	if err != nil {
 		log.Fatalf("hyperhetd: %v", err)
@@ -713,8 +719,10 @@ type resultSummary struct {
 const maxJobsListing = 500
 
 // handleJobs lists the jobs the scheduler knows — queued, running and
-// retained finished — oldest first, optionally filtered by ?state= and
-// capped by ?limit=.
+// retained finished — in deterministic order (ascending submit time,
+// ties by ID), optionally filtered by ?state= and capped by ?limit=. A
+// listing cut short by the cap carries "truncated": true so clients can
+// tell a short list from a complete one.
 func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	var filter hyperhet.JobState
 	if v := r.URL.Query().Get("state"); v != "" {
@@ -733,17 +741,23 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	statuses := []hyperhet.JobStatus{}
+	truncated := false
 	for _, job := range s.sched.Jobs() {
 		st := job.Status()
 		if filter != "" && st.State != filter {
 			continue
 		}
-		statuses = append(statuses, st)
 		if len(statuses) >= limit {
+			truncated = true
 			break
 		}
+		statuses = append(statuses, st)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses, "count": len(statuses)})
+	body := map[string]any{"jobs": statuses, "count": len(statuses)}
+	if truncated {
+		body["truncated"] = true
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {

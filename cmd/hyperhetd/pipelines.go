@@ -164,17 +164,23 @@ func (s *server) handlePipelines(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	statuses := []hyperhet.PipelineStatus{}
+	truncated := false
 	for _, p := range s.flow.Pipelines() {
 		st := p.Status()
 		if filter != "" && st.State != filter {
 			continue
 		}
-		statuses = append(statuses, st)
 		if len(statuses) >= limit {
+			truncated = true
 			break
 		}
+		statuses = append(statuses, st)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"pipelines": statuses, "count": len(statuses)})
+	body := map[string]any{"pipelines": statuses, "count": len(statuses)}
+	if truncated {
+		body["truncated"] = true
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handlePipeline(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,37 @@
+package algo
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// The data-parallel kernel benchmarks. Run with -cpu 1,4,8 to measure
+// the par fan-out: the worker budget defaults to GOMAXPROCS, so the
+// -cpu variants are the serial/parallel wall-clock comparison.
+
+func BenchmarkKernelCovariance(b *testing.B) {
+	f, _ := materialsCube(96, 64, 48, 6)
+	sum, finite := finiteMeanSums(f)
+	mean := make([]float64, f.Bands)
+	for k := range mean {
+		mean[k] = sum[k] / float64(finite)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := linalg.NewMat(f.Bands, f.Bands)
+		covarianceUpper(f, mean, acc)
+	}
+}
+
+func BenchmarkKernelLabelBySAD(b *testing.B) {
+	f, _ := materialsCube(128, 64, 32, 6)
+	endmembers := make([][]float32, 6)
+	for m := range endmembers {
+		endmembers[m] = f.PixelAt((m*128/6 + 1) * 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labelBySAD(f, endmembers)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/morph"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/spectral"
 	"repro/internal/vtime"
@@ -191,6 +192,14 @@ func selectCandidates(f *cube.Cube, scores []float64, loLine, hiLine, c int, the
 			break
 		}
 		v := f.PixelAt(p)
+		// A corrupt pixel is maximally eccentric — SAD pi to every
+		// neighbour — so it tops the MEI ranking and, being pi from every
+		// accepted candidate, always passes the dedup check. It must never
+		// become an endmember: it attracts no support, and the degenerate
+		// fallback below would otherwise resurrect it.
+		if !spectral.Finite(v) {
+			continue
+		}
 		distinct := true
 		for _, prev := range out {
 			sadCalls++
@@ -245,14 +254,19 @@ func fuseCandidates(cands []candidate, c int, theta float64) ([][]float32, int) 
 }
 
 // labelBySAD assigns every pixel its most similar endmember. Returns the
-// labels and the flop count.
+// labels and the flop count. Pixels are independent (each writes only its
+// own label), so the scan fans out over the par worker budget with
+// byte-identical results at any parallelism.
 func labelBySAD(f *cube.Cube, endmembers [][]float32) ([]int, float64) {
-	labels := make([]int, f.NumPixels())
-	for p := 0; p < f.NumPixels(); p++ {
-		i, _ := spectral.MostSimilar(f.PixelAt(p), endmembers)
-		labels[p] = i
-	}
-	return labels, float64(f.NumPixels()) * float64(len(endmembers)) * spectral.FlopsSAD(f.Bands)
+	np := f.NumPixels()
+	labels := make([]int, np)
+	par.Ranges(np, par.Chunks(np, 512), func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i, _ := spectral.MostSimilar(f.PixelAt(p), endmembers)
+			labels[p] = i
+		}
+	})
+	return labels, float64(np) * float64(len(endmembers)) * spectral.FlopsSAD(f.Bands)
 }
 
 // MorphSequential runs the morphological classifier on the whole scene in

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/linalg"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/spectral"
 	"repro/internal/vtime"
@@ -93,6 +94,10 @@ func (p PCTParams) minPopulationCount(np int) int {
 // the number of SAD evaluations. At least one representative always
 // survives.
 func pruneReps(reps []rep, minCount int) ([]rep, int) {
+	if len(reps) == 0 {
+		// Possible when every scanned pixel was non-finite.
+		return reps, 0
+	}
 	var kept, small []rep
 	for _, r := range reps {
 		if r.count >= minCount {
@@ -167,6 +172,12 @@ func uniqueScan(f *cube.Cube, theta float64, maxReps int) ([]rep, int) {
 	sadCalls := 0
 	for p := 0; p < f.NumPixels(); p++ {
 		v := f.PixelAt(p)
+		// A corrupt pixel is SAD pi from everything, so it would found a
+		// representative of its own (and a class, if its group survives
+		// pruning). Leave it out; classification handles it at label time.
+		if !spectral.Finite(v) {
+			continue
+		}
 		bestI, bestD := -1, theta
 		for i := range reps {
 			d := spectral.SAD(v, reps[i].sig)
@@ -263,25 +274,87 @@ func mergeReps(reps []rep, c int) ([]rep, int) {
 	return out, sadCalls
 }
 
-// covarianceUpper accumulates the upper triangle of sum (x-m)(x-m)^T over
-// the cube into acc (bands x bands). Returns the flop count charged.
-func covarianceUpper(f *cube.Cube, mean []float64, acc *linalg.Mat) float64 {
-	n := f.Bands
-	d := make([]float64, n)
-	for p := 0; p < f.NumPixels(); p++ {
-		v := f.PixelAt(p)
-		for i := 0; i < n; i++ {
-			d[i] = float64(v[i]) - mean[i]
-		}
-		for i := 0; i < n; i++ {
-			row := acc.Row(i)
-			di := d[i]
-			for j := i; j < n; j++ {
-				row[j] += di * d[j]
+// finiteMeanSums accumulates per-band sums over the finite pixels of f,
+// returning the sums and the finite-pixel count (the divisor for both
+// the mean and the covariance). Pixel chunks are folded in ascending
+// chunk order, so the result is bit-identical at any par worker budget.
+func finiteMeanSums(f *cube.Cube) ([]float64, int) {
+	bands := f.Bands
+	np := f.NumPixels()
+	chunks := par.Chunks(np, 2048)
+	bufs := make([][]float64, chunks)
+	counts := make([]int, chunks)
+	par.Ranges(np, chunks, func(ci, lo, hi int) {
+		buf := par.GetFloat64s(bands)
+		n := 0
+		for p := lo; p < hi; p++ {
+			v := f.PixelAt(p)
+			if !spectral.Finite(v) {
+				continue
+			}
+			n++
+			for b, x := range v {
+				buf[b] += float64(x)
 			}
 		}
+		bufs[ci] = buf
+		counts[ci] = n
+	})
+	sum := make([]float64, bands)
+	count := 0
+	for ci, buf := range bufs {
+		for b, v := range buf {
+			sum[b] += v
+		}
+		par.PutFloat64s(buf)
+		count += counts[ci]
 	}
-	return float64(f.NumPixels()) * (float64(n) + float64(n)*float64(n+1))
+	return sum, count
+}
+
+// covarianceUpper accumulates the upper triangle of sum (x-m)(x-m)^T over
+// the cube into acc (bands x bands). Returns the flop count charged.
+// Pixels are split into chunks whose partial matrices are folded into acc
+// in ascending chunk order, so the result is bit-identical at any par
+// worker budget.
+func covarianceUpper(f *cube.Cube, mean []float64, acc *linalg.Mat) float64 {
+	n := f.Bands
+	np := f.NumPixels()
+	sz := len(acc.Data)
+	chunks := par.Chunks(np, 2048)
+	bufs := make([][]float64, chunks)
+	par.Ranges(np, chunks, func(c, lo, hi int) {
+		buf := par.GetFloat64s(sz)
+		d := par.GetFloat64s(n)
+		for p := lo; p < hi; p++ {
+			v := f.PixelAt(p)
+			// Non-finite pixels are excluded from the statistics, matching
+			// the mean (finiteMeanSums); one NaN sample would otherwise
+			// poison the whole matrix and every eigenvector with it.
+			if !spectral.Finite(v) {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				d[i] = float64(v[i]) - mean[i]
+			}
+			for i := 0; i < n; i++ {
+				row := buf[i*n : (i+1)*n]
+				di := d[i]
+				for j := i; j < n; j++ {
+					row[j] += di * d[j]
+				}
+			}
+		}
+		par.PutFloat64s(d)
+		bufs[c] = buf
+	})
+	for _, buf := range bufs {
+		for i, v := range buf {
+			acc.Data[i] += v
+		}
+		par.PutFloat64s(buf)
+	}
+	return float64(np) * (float64(n) + float64(n)*float64(n+1))
 }
 
 func mirrorLower(m *linalg.Mat) {
@@ -323,28 +396,37 @@ func pctProject(t *linalg.Mat, mean []float64, v []float32, out []float64) {
 // reduceCube projects every pixel of f onto the transform's components,
 // returning one reduced vector per pixel and the flop count.
 func reduceCube(f *cube.Cube, t *linalg.Mat, mean []float64) ([][]float64, float64) {
-	out := make([][]float64, f.NumPixels())
-	buf := make([]float64, t.Rows)
-	for p := 0; p < f.NumPixels(); p++ {
-		pctProject(t, mean, f.PixelAt(p), buf)
-		out[p] = append([]float64(nil), buf...)
-	}
-	return out, float64(f.NumPixels()) * linalg.FlopsMulVec(t.Rows, t.Cols)
+	np := f.NumPixels()
+	out := make([][]float64, np)
+	// Each pixel writes only its own output slot: byte-identical at any
+	// parallelism.
+	par.Ranges(np, par.Chunks(np, 512), func(_, lo, hi int) {
+		buf := par.GetFloat64s(t.Rows)
+		defer par.PutFloat64s(buf)
+		for p := lo; p < hi; p++ {
+			pctProject(t, mean, f.PixelAt(p), buf)
+			out[p] = append([]float64(nil), buf...)
+		}
+	})
+	return out, float64(np) * linalg.FlopsMulVec(t.Rows, t.Cols)
 }
 
 // classifyReducedVectors labels every reduced pixel vector with its most
 // similar projected representative. Returns labels and the flop count.
 func classifyReducedVectors(reduced [][]float64, reps [][]float64, comps int) ([]int, float64) {
 	labels := make([]int, len(reduced))
-	for p, v := range reduced {
-		best, bestD := 0, spectral.SADf64(v, reps[0])
-		for k := 1; k < len(reps); k++ {
-			if d := spectral.SADf64(v, reps[k]); d < bestD {
-				best, bestD = k, d
+	par.Ranges(len(reduced), par.Chunks(len(reduced), 512), func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			v := reduced[p]
+			best, bestD := 0, spectral.SADf64(v, reps[0])
+			for k := 1; k < len(reps); k++ {
+				if d := spectral.SADf64(v, reps[k]); d < bestD {
+					best, bestD = k, d
+				}
 			}
+			labels[p] = best
 		}
-		labels[p] = best
-	}
+	})
 	return labels, float64(len(reduced)) * float64(len(reps)) * spectral.FlopsSAD(comps)
 }
 
@@ -352,17 +434,20 @@ func classifyReducedVectors(reduced [][]float64, reps [][]float64, comps int) ([
 // similar projected representative. Returns labels and the flop count.
 func classifyReduced(f *cube.Cube, t *linalg.Mat, mean []float64, reduced [][]float64) ([]int, float64) {
 	labels := make([]int, f.NumPixels())
-	buf := make([]float64, t.Rows)
-	for p := 0; p < f.NumPixels(); p++ {
-		pctProject(t, mean, f.PixelAt(p), buf)
-		best, bestD := 0, spectral.SADf64(buf, reduced[0])
-		for k := 1; k < len(reduced); k++ {
-			if d := spectral.SADf64(buf, reduced[k]); d < bestD {
-				best, bestD = k, d
+	par.Ranges(f.NumPixels(), par.Chunks(f.NumPixels(), 512), func(_, lo, hi int) {
+		buf := par.GetFloat64s(t.Rows)
+		defer par.PutFloat64s(buf)
+		for p := lo; p < hi; p++ {
+			pctProject(t, mean, f.PixelAt(p), buf)
+			best, bestD := 0, spectral.SADf64(buf, reduced[0])
+			for k := 1; k < len(reduced); k++ {
+				if d := spectral.SADf64(buf, reduced[k]); d < bestD {
+					best, bestD = k, d
+				}
 			}
+			labels[p] = best
 		}
-		labels[p] = best
-	}
+	})
 	flops := float64(f.NumPixels()) * (linalg.FlopsMulVec(t.Rows, t.Cols) + float64(len(reduced))*spectral.FlopsSAD(t.Rows))
 	return labels, flops
 }
@@ -386,12 +471,19 @@ func PCTSequential(f *cube.Cube, params PCTParams) (*ClassificationResult, error
 	reps, _ := uniqueScan(f, params.Theta, params.MaxReps)
 	reps, _ = pruneReps(reps, params.minPopulationCount(f.NumPixels()))
 	reps, _ = mergeReps(reps, params.Classes)
-	mean := f.MeanVector()
+	sum, finite := finiteMeanSums(f)
+	if finite == 0 {
+		return nil, fmt.Errorf("algo: no finite pixels in scene")
+	}
+	mean := make([]float64, f.Bands)
+	for b := range mean {
+		mean[b] = sum[b] / float64(finite)
+	}
 	cov := linalg.NewMat(f.Bands, f.Bands)
 	covarianceUpper(f, mean, cov)
 	mirrorLower(cov)
 	for i := range cov.Data {
-		cov.Data[i] /= float64(f.NumPixels())
+		cov.Data[i] /= float64(finite)
 	}
 	t, err := pctTransformMatrix(cov, min(params.Classes, len(reps)))
 	if err != nil {
@@ -557,18 +649,15 @@ func pctComputePhase(c *mpi.Comm, own *cube.Cube, params PCTParams, bands int) (
 		}
 	}
 
-	// Step 4: the mean vector, computed concurrently.
+	// Step 4: the mean vector, computed concurrently. Sums and counts
+	// cover only finite pixels (corrupt samples would poison every
+	// statistic downstream), but the compute charge stays the full scan —
+	// every pixel is still read.
 	localSum := make([]float64, bands)
 	var localCount int
 	if own != nil {
-		for p := 0; p < own.NumPixels(); p++ {
-			v := own.PixelAt(p)
-			for b, x := range v {
-				localSum[b] += float64(x)
-			}
-		}
-		localCount = own.NumPixels()
-		c.Compute(float64(localCount)*float64(bands), vtime.Par)
+		localSum, localCount = finiteMeanSums(own)
+		c.Compute(float64(own.NumPixels())*float64(bands), vtime.Par)
 	}
 	sums := mpi.GatherAs(c, 0, tagPartial, localSum, 8*bands)
 	counts := mpi.GatherAs(c, 0, tagPartial, localCount, 8)
@@ -581,6 +670,9 @@ func pctComputePhase(c *mpi.Comm, own *cube.Cube, params PCTParams, bands int) (
 				mean[b] += sums[r][b]
 			}
 			total += counts[r]
+		}
+		if total == 0 {
+			return pctBcastMsg{}, fmt.Errorf("algo: no finite pixels in scene")
 		}
 		for b := range mean {
 			mean[b] /= float64(total)

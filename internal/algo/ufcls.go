@@ -4,6 +4,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/linalg"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/vtime"
 )
@@ -27,6 +28,48 @@ func ufclsEndmemberMat(u uMatrix, bands int) *linalg.Mat {
 	return m
 }
 
+// maxErrorScan unmixes every pixel of f against U and returns the index
+// and reconstruction error of the worst-reconstructed pixel. The scan is
+// chunked over pixels with one FCLS solver (and workspace) per chunk;
+// per-chunk maxima are folded in ascending chunk order with a strict
+// greater-than, so ties resolve to the earliest pixel index exactly as a
+// serial scan would and the result is identical at any par budget.
+func maxErrorScan(f *cube.Cube, u uMatrix, bands int) (int, float64, error) {
+	np := f.NumPixels()
+	chunks := par.Chunks(np, 2048)
+	type chunkMax struct {
+		best  int
+		score float64
+		err   error
+	}
+	out := make([]chunkMax, chunks)
+	par.Ranges(np, chunks, func(c, lo, hi int) {
+		solver := linalg.NewFCLSSolver(ufclsEndmemberMat(u, bands))
+		best, bestScore := -1, -1.0
+		for p := lo; p < hi; p++ {
+			_, err2, err := solver.UnmixF32(f.PixelAt(p))
+			if err != nil {
+				out[c] = chunkMax{err: err}
+				return
+			}
+			if err2 > bestScore {
+				best, bestScore = p, err2
+			}
+		}
+		out[c] = chunkMax{best: best, score: bestScore}
+	})
+	best, bestScore := -1, -1.0
+	for _, r := range out {
+		if r.err != nil {
+			return 0, 0, r.err
+		}
+		if r.score > bestScore {
+			best, bestScore = r.best, r.score
+		}
+	}
+	return best, bestScore, nil
+}
+
 // UFCLSSequential runs UFCLS on the whole scene in a single thread.
 func UFCLSSequential(f *cube.Cube, t int) (*DetectionResult, error) {
 	if err := validateTargets(f, t); err != nil {
@@ -43,16 +86,10 @@ func UFCLSSequential(f *cube.Cube, t int) (*DetectionResult, error) {
 	var u uMatrix
 	u.rows = append(u.rows, toF64(res.Targets[0].Signature))
 	for len(res.Targets) < t {
-		solver := linalg.NewFCLSSolver(ufclsEndmemberMat(u, f.Bands))
-		best, bestScore = -1, -1.0
-		for p := 0; p < f.NumPixels(); p++ {
-			_, err2, err := solver.UnmixF32(f.PixelAt(p))
-			if err != nil {
-				return nil, err
-			}
-			if err2 > bestScore {
-				best, bestScore = p, err2
-			}
+		var err error
+		best, bestScore, err = maxErrorScan(f, u, f.Bands)
+		if err != nil {
+			return nil, err
 		}
 		appendTarget(res, f, best, bestScore)
 		u.rows = append(u.rows, toF64(res.Targets[len(res.Targets)-1].Signature))
@@ -143,18 +180,11 @@ func localMaxError(c *mpi.Comm, part LocalPart, u uMatrix, bands int) (candidate
 	if own == nil {
 		return candidate{}, nil
 	}
-	solver := linalg.NewFCLSSolver(ufclsEndmemberMat(u, bands))
 	t := len(u.rows)
 	c.ComputeFixed(linalg.FlopsGram(t, bands), vtime.Par) // endmember Gram matrix
-	best, bestScore := -1, -1.0
-	for p := 0; p < own.NumPixels(); p++ {
-		_, err2, err := solver.UnmixF32(own.PixelAt(p))
-		if err != nil {
-			return candidate{}, err
-		}
-		if err2 > bestScore {
-			best, bestScore = p, err2
-		}
+	best, bestScore, err := maxErrorScan(own, u, bands)
+	if err != nil {
+		return candidate{}, err
 	}
 	c.Compute(float64(own.NumPixels())*linalg.FlopsFCLSGram(bands, t), vtime.Par)
 	l, s := own.Coord(best)

@@ -2,6 +2,8 @@ package cube
 
 import (
 	"fmt"
+
+	"repro/internal/par"
 )
 
 // Interleave names a sample ordering of a hyperspectral data stream.
@@ -32,28 +34,35 @@ func (c *Cube) Samples3D(il Interleave) ([]float32, error) {
 		copy(out, c.Data)
 		return out, nil
 	case BIL:
+		// Every line owns a disjoint slice of the output, so the transpose
+		// fans out over lines via par.
 		out := make([]float32, len(c.Data))
-		i := 0
-		for l := 0; l < c.Lines; l++ {
-			for b := 0; b < c.Bands; b++ {
-				for s := 0; s < c.Samples; s++ {
-					out[i] = c.At(l, s, b)
-					i++
+		par.Lines(c.Lines, 1, func(_, lo, hi int) {
+			for l := lo; l < hi; l++ {
+				i := l * c.Bands * c.Samples
+				for b := 0; b < c.Bands; b++ {
+					for s := 0; s < c.Samples; s++ {
+						out[i] = c.At(l, s, b)
+						i++
+					}
 				}
 			}
-		}
+		})
 		return out, nil
 	case BSQ:
+		// Every band owns a disjoint plane of the output.
 		out := make([]float32, len(c.Data))
-		i := 0
-		for b := 0; b < c.Bands; b++ {
-			for l := 0; l < c.Lines; l++ {
-				for s := 0; s < c.Samples; s++ {
-					out[i] = c.At(l, s, b)
-					i++
+		par.Lines(c.Bands, 1, func(_, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				i := b * c.Lines * c.Samples
+				for l := 0; l < c.Lines; l++ {
+					for s := 0; s < c.Samples; s++ {
+						out[i] = c.At(l, s, b)
+						i++
+					}
 				}
 			}
-		}
+		})
 		return out, nil
 	default:
 		return nil, fmt.Errorf("cube: unknown interleave %q", il)
@@ -77,25 +86,32 @@ func FromSamples3D(lines, samples, bands int, il Interleave, data []float32) (*C
 	case BIP:
 		copy(c.Data, data)
 	case BIL:
-		i := 0
-		for l := 0; l < lines; l++ {
-			for b := 0; b < bands; b++ {
-				for s := 0; s < samples; s++ {
-					c.Set(l, s, b, data[i])
-					i++
+		// Each line reads a disjoint slice of data and writes a disjoint
+		// slice of the cube.
+		par.Lines(lines, 1, func(_, lo, hi int) {
+			for l := lo; l < hi; l++ {
+				i := l * bands * samples
+				for b := 0; b < bands; b++ {
+					for s := 0; s < samples; s++ {
+						c.Set(l, s, b, data[i])
+						i++
+					}
 				}
 			}
-		}
+		})
 	case BSQ:
-		i := 0
-		for b := 0; b < bands; b++ {
-			for l := 0; l < lines; l++ {
-				for s := 0; s < samples; s++ {
-					c.Set(l, s, b, data[i])
-					i++
+		// Bands write interleaved cube elements but never the same one.
+		par.Lines(bands, 1, func(_, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				i := b * lines * samples
+				for l := 0; l < lines; l++ {
+					for s := 0; s < samples; s++ {
+						c.Set(l, s, b, data[i])
+						i++
+					}
 				}
 			}
-		}
+		})
 	}
 	return c, nil
 }

@@ -162,3 +162,20 @@ func TestSpatialSubset(t *testing.T) {
 		}
 	}
 }
+
+func BenchmarkKernelInterleave(b *testing.B) {
+	f := MustNew(128, 64, 64)
+	for i := range f.Data {
+		f.Data[i] = float32(i%509) / 509
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flat, err := f.Samples3D(BIL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := FromSamples3D(f.Lines, f.Samples, f.Bands, BIL, flat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// The contract of internal/par, proven end to end: the experiment
+// tables are byte-identical to the committed goldens at every kernel
+// worker budget, serial included. Chunk boundaries depend only on the
+// input size and partial results fold in chunk order, so parallelism
+// must never move a float.
+func TestGoldenDeterministicAcrossParBudgets(t *testing.T) {
+	defer par.SetMaxWorkers(0)
+	for _, budget := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("budget-%d", budget), func(t *testing.T) {
+			par.SetMaxWorkers(budget)
+			res, err := NetworkSuite(fastConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, "golden_network_suite.json", res)
+			thun, err := Thunderhead(fastConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, "golden_thunderhead.json", thun)
+		})
+	}
+}

@@ -567,8 +567,10 @@ func (e *Engine) Pipeline(id string) (*Pipeline, error) {
 	return p, nil
 }
 
-// Pipelines returns every pipeline the engine knows, in ascending
-// pipeline-number order.
+// Pipelines returns every pipeline the engine knows, oldest first:
+// submission time, then pipeline number, then ID. Replayed pipelines
+// carry their journaled submission times, so the order survives
+// restarts.
 func (e *Engine) Pipelines() []*Pipeline {
 	e.mu.Lock()
 	out := make([]*Pipeline, 0, len(e.pipelines))
@@ -577,6 +579,10 @@ func (e *Engine) Pipelines() []*Pipeline {
 	}
 	e.mu.Unlock()
 	sort.Slice(out, func(a, b int) bool {
+		ta, tb := out[a].submittedAt, out[b].submittedAt
+		if !ta.Equal(tb) {
+			return ta.Before(tb)
+		}
 		na, nb := pipeNumber(out[a].id), pipeNumber(out[b].id)
 		if na != nb {
 			return na < nb

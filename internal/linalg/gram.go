@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // This file provides the Gram-form constrained least squares used by the
@@ -311,21 +313,25 @@ func (ws *nnlsWorkspace) solvePassive(ata *Mat, atb []float64, idx []int) ([]flo
 }
 
 // NewFCLSSolver precomputes the augmented Gram matrix for the endmember
-// matrix m (bands x t, one endmember per column).
+// matrix m (bands x t, one endmember per column). Each Gram entry is an
+// independent dot product, so rows of the upper triangle fan out over the
+// par worker budget with byte-identical results at any parallelism.
 func NewFCLSSolver(m *Mat) *FCLSSolver {
 	t := m.Cols
 	ata := NewMat(t, t)
-	for i := 0; i < t; i++ {
-		for j := i; j < t; j++ {
-			var s float64
-			for b := 0; b < m.Rows; b++ {
-				s += m.At(b, i) * m.At(b, j)
+	par.Lines(t, 2, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i; j < t; j++ {
+				var s float64
+				for b := 0; b < m.Rows; b++ {
+					s += m.At(b, i) * m.At(b, j)
+				}
+				s += FCLSDelta * FCLSDelta
+				ata.Set(i, j, s)
+				ata.Set(j, i, s)
 			}
-			s += FCLSDelta * FCLSDelta
-			ata.Set(i, j, s)
-			ata.Set(j, i, s)
 		}
-	}
+	})
 	return &FCLSSolver{
 		m:   m,
 		ata: ata,

@@ -8,9 +8,11 @@
 package morph
 
 import (
+	"container/heap"
 	"fmt"
 
 	"repro/internal/cube"
+	"repro/internal/par"
 	"repro/internal/spectral"
 )
 
@@ -40,31 +42,7 @@ func (se StructuringElement) Size() int {
 // marks spectrally mixed pixels, low D_B spectrally pure ones relative to
 // their surroundings.
 func DistanceMap(f *cube.Cube, se StructuringElement) []float64 {
-	out := make([]float64, f.NumPixels())
-	for l := 0; l < f.Lines; l++ {
-		for s := 0; s < f.Samples; s++ {
-			center := f.Pixel(l, s)
-			var sum float64
-			for dl := -se.RadiusL; dl <= se.RadiusL; dl++ {
-				nl := l + dl
-				if nl < 0 || nl >= f.Lines {
-					continue
-				}
-				for ds := -se.RadiusS; ds <= se.RadiusS; ds++ {
-					ns := s + ds
-					if ns < 0 || ns >= f.Samples {
-						continue
-					}
-					if dl == 0 && ds == 0 {
-						continue
-					}
-					sum += spectral.SAD(center, f.Pixel(nl, ns))
-				}
-			}
-			out[f.FlatIndex(l, s)] = sum
-		}
-	}
-	return out
+	return distanceMapRange(f, se, 0, f.Lines)
 }
 
 // argOver scans the clamped B-neighbourhood of (l,s) and returns the
@@ -184,18 +162,22 @@ func MEIRange(f *cube.Cube, se StructuringElement, imax, ownedLo, ownedHi int) *
 		dist := distanceMapRange(cur, se, mapLo, mapHi)
 		flops += float64(mapHi-mapLo) * cols * float64(se.Size()-1) * sadCost
 		next := cur.Clone()
-		for l := outLo; l < outHi; l++ {
-			for s := 0; s < cur.Samples; s++ {
-				el, es := ErodeAt(cur, dist, se, l, s)
-				dl, ds := DilateAt(cur, dist, se, l, s)
-				mei := spectral.SAD(cur.Pixel(el, es), cur.Pixel(dl, ds))
-				p := cur.FlatIndex(l, s)
-				if mei > scores[p] {
-					scores[p] = mei
+		// Each row writes only its own score and output entries, so the
+		// erode/dilate/MEI pass fans out over rows byte-identically.
+		par.Lines(outHi-outLo, 1, func(_, clo, chi int) {
+			for l := outLo + clo; l < outLo+chi; l++ {
+				for s := 0; s < cur.Samples; s++ {
+					el, es := ErodeAt(cur, dist, se, l, s)
+					dl, ds := DilateAt(cur, dist, se, l, s)
+					mei := spectral.SAD(cur.Pixel(el, es), cur.Pixel(dl, ds))
+					p := cur.FlatIndex(l, s)
+					if mei > scores[p] {
+						scores[p] = mei
+					}
+					next.SetPixel(l, s, cur.Pixel(dl, ds))
 				}
-				next.SetPixel(l, s, cur.Pixel(dl, ds))
 			}
-		}
+		})
 		flops += float64(outHi-outLo) * cols * (2*float64(se.Size()) + sadCost)
 		cur = next
 	}
@@ -203,9 +185,18 @@ func MEIRange(f *cube.Cube, se StructuringElement, imax, ownedLo, ownedHi int) *
 }
 
 // distanceMapRange computes D_B for rows [lo, hi) only; entries outside
-// the range are zero and must not be consulted.
+// the range are zero and must not be consulted. Rows are independent
+// (each writes only its own output entries), so they fan out over the
+// par worker budget; results are byte-identical at any parallelism.
 func distanceMapRange(f *cube.Cube, se StructuringElement, lo, hi int) []float64 {
 	out := make([]float64, f.NumPixels())
+	par.Lines(hi-lo, 1, func(_, clo, chi int) {
+		distanceMapRows(f, se, lo+clo, lo+chi, out)
+	})
+	return out
+}
+
+func distanceMapRows(f *cube.Cube, se StructuringElement, lo, hi int, out []float64) {
 	for l := lo; l < hi; l++ {
 		for s := 0; s < f.Samples; s++ {
 			center := f.Pixel(l, s)
@@ -229,7 +220,6 @@ func distanceMapRange(f *cube.Cube, se StructuringElement, lo, hi int) []float64
 			out[f.FlatIndex(l, s)] = sum
 		}
 	}
-	return out
 }
 
 // FlopsMEI estimates the cost of MEI over np pixels with the given kernel
@@ -241,9 +231,49 @@ func FlopsMEI(np, seSize, bands, imax int) float64 {
 	return float64(imax) * perIter
 }
 
+// topkHeap is a bounded min-heap over flat indices: the root is the
+// weakest element kept so far, where "weaker" means lower score, or the
+// same score at a higher index (lower indices win ties).
+type topkHeap struct {
+	idx    []int
+	scores []float64
+}
+
+func (h *topkHeap) Len() int { return len(h.idx) }
+
+func (h *topkHeap) Less(i, j int) bool {
+	a, b := h.idx[i], h.idx[j]
+	if h.scores[a] != h.scores[b] {
+		return h.scores[a] < h.scores[b]
+	}
+	return a > b
+}
+
+func (h *topkHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+
+func (h *topkHeap) Push(x any) { h.idx = append(h.idx, x.(int)) }
+
+func (h *topkHeap) Pop() any {
+	n := len(h.idx)
+	v := h.idx[n-1]
+	h.idx = h.idx[:n-1]
+	return v
+}
+
+// stronger reports whether candidate index i beats the current heap root
+// (the weakest kept element).
+func (h *topkHeap) stronger(i int) bool {
+	r := h.idx[0]
+	if h.scores[i] != h.scores[r] {
+		return h.scores[i] > h.scores[r]
+	}
+	return i < r
+}
+
 // TopK returns the flat indices of the k highest scores, in decreasing
 // score order (ties broken by lower index for determinism). k is clamped
-// to len(scores).
+// to len(scores). It runs in O(n log k) using a bounded min-heap whose
+// root is the weakest element retained so far.
 func TopK(scores []float64, k int) []int {
 	if k <= 0 {
 		return nil
@@ -251,20 +281,18 @@ func TopK(scores []float64, k int) []int {
 	if k > len(scores) {
 		k = len(scores)
 	}
-	idx := make([]int, len(scores))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Partial selection sort is fine for the small k (classes) we use.
-	for sel := 0; sel < k; sel++ {
-		best := sel
-		for j := sel + 1; j < len(idx); j++ {
-			si, sb := scores[idx[j]], scores[idx[best]]
-			if si > sb || (si == sb && idx[j] < idx[best]) {
-				best = j
-			}
+	h := &topkHeap{idx: make([]int, 0, k), scores: scores}
+	for i := range scores {
+		if h.Len() < k {
+			heap.Push(h, i)
+		} else if h.stronger(i) {
+			h.idx[0] = i
+			heap.Fix(h, 0)
 		}
-		idx[sel], idx[best] = idx[best], idx[sel]
 	}
-	return idx[:k]
+	out := make([]int, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(int)
+	}
+	return out
 }

@@ -1,0 +1,252 @@
+// Package par is a small deterministic data-parallel runtime for the
+// repository's real (host) compute: scene synthesis, morphological
+// distance maps, covariance accumulation, constrained-unmixing scans,
+// per-pixel classification and cube hashing. The simulated cluster of
+// package mpi parallelizes *virtual* time; par parallelizes *wall-clock*
+// time on the machine actually running the process.
+//
+// # Determinism contract
+//
+// Every primitive here is bit-deterministic with respect to the worker
+// count. The rule that makes this possible: work is split into chunks
+// whose boundaries are a pure function of the problem size (never of the
+// worker budget or of runtime.GOMAXPROCS), each chunk accumulates
+// serially in index order, and chunked reductions combine per-chunk
+// results in ascending chunk order. Changing the worker budget changes
+// only which goroutine executes a chunk, never what any chunk computes
+// nor the order partial results are folded in, so floating-point outputs
+// are byte-identical at any budget — including budget 1, which runs the
+// exact same chunked schedule inline.
+//
+// # Worker budget
+//
+// The package keeps one global budget (SetMaxWorkers) and a shared
+// counting semaphore of budget-1 borrowable workers. A fan-out runs on
+// the calling goroutine plus however many extra workers it can borrow
+// without blocking; when the box is busy — many scheduler jobs running
+// kernels at once — late fan-outs simply run with fewer helpers (or
+// serially) instead of oversubscribing the CPU. The scheduler sets the
+// budget once from its configuration, and every concurrent job draws
+// from the same pool.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkersSetting is the configured budget; 0 means "use
+// runtime.GOMAXPROCS(0) at call time" so `go test -cpu 1,4,8` naturally
+// scales the kernels.
+var maxWorkersSetting atomic.Int64
+
+// extrasInUse counts borrowed helper goroutines across all concurrent
+// fan-outs; it never exceeds budget-1.
+var extrasInUse atomic.Int64
+
+// Counters for telemetry: fan-outs started and chunks executed.
+var (
+	fanoutCount atomic.Uint64
+	chunkCount  atomic.Uint64
+)
+
+// SetMaxWorkers sets the package-wide worker budget: the maximum number
+// of goroutines (including callers) simultaneously executing par chunks.
+// n <= 0 restores the default (runtime.GOMAXPROCS at each call). The
+// budget caps CPU use, never changes results.
+func SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxWorkersSetting.Store(int64(n))
+}
+
+// MaxWorkers returns the current worker budget.
+func MaxWorkers() int {
+	if n := maxWorkersSetting.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WorkersInUse returns the number of borrowed helper goroutines
+// currently executing chunks (the calling goroutines of active fan-outs
+// are not counted).
+func WorkersInUse() int { return int(extrasInUse.Load()) }
+
+// Stats is a snapshot of the package's monotonic counters.
+type Stats struct {
+	// Fanouts is the number of Ranges/reduction fan-outs started.
+	Fanouts uint64
+	// Chunks is the total number of chunks executed across all fan-outs.
+	Chunks uint64
+}
+
+// Snapshot returns the current counter values.
+func Snapshot() Stats {
+	return Stats{Fanouts: fanoutCount.Load(), Chunks: chunkCount.Load()}
+}
+
+// tryBorrow reserves up to want helper slots from the shared pool and
+// returns how many it got (possibly zero). Non-blocking: a busy box
+// degrades fan-outs toward serial execution instead of queueing.
+func tryBorrow(want int) int {
+	limit := int64(MaxWorkers() - 1)
+	if limit <= 0 || want <= 0 {
+		return 0
+	}
+	got := 0
+	for got < want {
+		cur := extrasInUse.Load()
+		if cur >= limit {
+			break
+		}
+		if extrasInUse.CompareAndSwap(cur, cur+1) {
+			got++
+		}
+	}
+	return got
+}
+
+func release(n int) { extrasInUse.Add(int64(-n)) }
+
+// span returns the half-open index range of chunk c when n items are
+// split into the given number of chunks: a pure function of (n, chunks,
+// c), independent of the worker budget.
+func span(n, chunks, c int) (lo, hi int) {
+	return c * n / chunks, (c + 1) * n / chunks
+}
+
+// Chunks returns a deterministic chunk count for n items at the given
+// grain (items per chunk), capped at maxChunks so tiny grains cannot
+// explode scheduling overhead. The result depends only on n and grain —
+// never on the worker budget — which is what keeps chunked reductions
+// byte-identical at any parallelism.
+func Chunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	c := (n + grain - 1) / grain
+	const maxChunks = 256
+	if c > maxChunks {
+		c = maxChunks
+	}
+	return c
+}
+
+// Ranges splits [0, n) into the given number of chunks and calls
+// fn(chunk, lo, hi) once per chunk, fanning the chunks out over the
+// calling goroutine plus any helper workers available within the
+// package budget. Chunk boundaries come from span(); fn must treat the
+// chunk index as its only identity (scratch buffers, partial-result
+// slots). fn is called for every chunk exactly once; the assignment of
+// chunks to goroutines is unspecified, so fn must only write state owned
+// by its chunk (or its index range).
+func Ranges(n, chunks int, fn func(chunk, lo, hi int)) {
+	if n <= 0 || chunks <= 0 {
+		return
+	}
+	if chunks > n {
+		chunks = n
+	}
+	fanoutCount.Add(1)
+	chunkCount.Add(uint64(chunks))
+	extras := 0
+	if chunks > 1 {
+		extras = tryBorrow(chunks - 1)
+	}
+	if extras == 0 {
+		for c := 0; c < chunks; c++ {
+			lo, hi := span(n, chunks, c)
+			fn(c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo, hi := span(n, chunks, c)
+			fn(c, lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extras)
+	for i := 0; i < extras; i++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	release(extras)
+}
+
+// Lines is Ranges with one-item grain chosen for row-parallel image
+// kernels: n rows in up to 256 chunks of at least minGrain rows each.
+func Lines(n, minGrain int, fn func(chunk, lo, hi int)) {
+	Ranges(n, Chunks(n, minGrain), fn)
+}
+
+// ReduceOrdered runs fn once per chunk of [0, n) and folds the per-chunk
+// results in ascending chunk order: acc = combine(combine(r0, r1), r2)…
+// Because both the chunk boundaries and the fold order are fixed, the
+// result is bit-identical at any worker budget. n <= 0 returns the zero
+// value.
+func ReduceOrdered[T any](n, chunks int, fn func(chunk, lo, hi int) T, combine func(acc, v T) T) T {
+	var zero T
+	if n <= 0 || chunks <= 0 {
+		return zero
+	}
+	if chunks > n {
+		chunks = n
+	}
+	out := make([]T, chunks)
+	Ranges(n, chunks, func(c, lo, hi int) { out[c] = fn(c, lo, hi) })
+	acc := out[0]
+	for c := 1; c < chunks; c++ {
+		acc = combine(acc, out[c])
+	}
+	return acc
+}
+
+// float64Pool recycles scratch slices across kernel invocations; the
+// covariance and classification kernels would otherwise allocate one
+// band-sized (or bands^2-sized) buffer per chunk per call.
+var float64Pool = sync.Pool{New: func() any { s := make([]float64, 0, 1024); return &s }}
+
+// GetFloat64s returns a zeroed scratch slice of length n from the pool.
+// Return it with PutFloat64s when done; the slice must not be retained
+// afterwards.
+func GetFloat64s(n int) []float64 {
+	p := float64Pool.Get().(*[]float64)
+	s := *p
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*p = s
+	return s
+}
+
+// PutFloat64s returns a scratch slice obtained from GetFloat64s to the
+// pool.
+func PutFloat64s(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	float64Pool.Put(&s)
+}

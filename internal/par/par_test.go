@@ -1,0 +1,230 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// withBudget runs fn under a temporary worker budget, restoring the
+// previous setting afterwards.
+func withBudget(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := int(maxWorkersSetting.Load())
+	SetMaxWorkers(n)
+	defer SetMaxWorkers(prev)
+	fn()
+}
+
+func TestParSpanCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 1000} {
+		for _, chunks := range []int{1, 2, 3, 16, 100} {
+			if chunks > n {
+				continue
+			}
+			seen := make([]int, n)
+			for c := 0; c < chunks; c++ {
+				lo, hi := span(n, chunks, c)
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			}
+			for i, v := range seen {
+				if v != 1 {
+					t.Fatalf("n=%d chunks=%d: index %d covered %d times", n, chunks, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestParRangesVisitsEveryChunk(t *testing.T) {
+	for _, budget := range []int{1, 4, 8} {
+		withBudget(t, budget, func() {
+			var mu sync.Mutex
+			got := map[int]bool{}
+			Ranges(1000, 16, func(c, lo, hi int) {
+				mu.Lock()
+				got[c] = true
+				mu.Unlock()
+			})
+			if len(got) != 16 {
+				t.Fatalf("budget %d: %d chunks ran, want 16", budget, len(got))
+			}
+		})
+	}
+}
+
+// TestParReduceOrderedDeterministicAcrossWorkers is the core contract:
+// a floating-point chunked reduction returns bit-identical results at
+// budgets 1, 4 and 8, and matches the serial chunked fold exactly.
+func TestParReduceOrderedDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]float64, 100_003)
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64())
+	}
+	sum := func() float64 {
+		return ReduceOrdered(len(data), Chunks(len(data), 512),
+			func(_, lo, hi int) float64 {
+				var s float64
+				for i := lo; i < hi; i++ {
+					s += data[i]
+				}
+				return s
+			},
+			func(acc, v float64) float64 { return acc + v })
+	}
+	var want float64
+	withBudget(t, 1, func() { want = sum() })
+	for _, budget := range []int{2, 4, 8} {
+		for rep := 0; rep < 5; rep++ {
+			var got float64
+			withBudget(t, budget, func() { got = sum() })
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("budget %d rep %d: sum %x differs from serial %x",
+					budget, rep, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestParChunksDependsOnlyOnInputs(t *testing.T) {
+	for _, budget := range []int{1, 3, 9} {
+		withBudget(t, budget, func() {
+			if got := Chunks(1000, 8); got != 125 {
+				t.Fatalf("Chunks(1000,8) = %d at budget %d", got, budget)
+			}
+			if got := Chunks(1_000_000, 1); got != 256 {
+				t.Fatalf("cap: Chunks(1e6,1) = %d", got)
+			}
+			if got := Chunks(0, 8); got != 0 {
+				t.Fatalf("Chunks(0,8) = %d", got)
+			}
+		})
+	}
+}
+
+func TestParBudgetNeverOversubscribes(t *testing.T) {
+	withBudget(t, 3, func() {
+		var mu sync.Mutex
+		maxSeen := 0
+		var wg sync.WaitGroup
+		for j := 0; j < 8; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				Ranges(4096, 64, func(_, lo, hi int) {
+					in := WorkersInUse()
+					mu.Lock()
+					if in > maxSeen {
+						maxSeen = in
+					}
+					mu.Unlock()
+					s := 0.0
+					for i := lo; i < hi; i++ {
+						s += math.Sqrt(float64(i))
+					}
+					_ = s
+				})
+			}()
+		}
+		wg.Wait()
+		if maxSeen > 2 { // budget 3 = caller + at most 2 borrowed helpers
+			t.Fatalf("%d helpers in use under budget 3", maxSeen)
+		}
+		if WorkersInUse() != 0 {
+			t.Fatalf("%d helpers leaked", WorkersInUse())
+		}
+	})
+}
+
+func TestParScratchPoolReuse(t *testing.T) {
+	s := GetFloat64s(64)
+	if len(s) != 64 {
+		t.Fatalf("len %d", len(s))
+	}
+	for i := range s {
+		s[i] = float64(i)
+	}
+	PutFloat64s(s)
+	s2 := GetFloat64s(32)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("reused scratch not zeroed at %d: %v", i, v)
+		}
+	}
+	PutFloat64s(s2)
+}
+
+// TestParStressScratchBuffers hammers pooled scratch and chunked
+// reductions from many goroutines at once; run with -race (the CI stress
+// step does, at GOMAXPROCS=8) to catch sharing bugs.
+func TestParStressScratchBuffers(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(runtime.GOMAXPROCS(0))
+	const jobs = 16
+	var wg sync.WaitGroup
+	results := make([]float64, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			n := 5000 + j
+			results[j] = ReduceOrdered(n, Chunks(n, 128),
+				func(_, lo, hi int) float64 {
+					buf := GetFloat64s(16)
+					defer PutFloat64s(buf)
+					for i := lo; i < hi; i++ {
+						buf[i%16] += math.Sin(float64(i))
+					}
+					var s float64
+					for _, v := range buf {
+						s += v
+					}
+					return s
+				},
+				func(acc, v float64) float64 { return acc + v })
+		}(j)
+	}
+	wg.Wait()
+	// Every job with the same n must agree with a serial recompute.
+	for j := 0; j < jobs; j++ {
+		n := 5000 + j
+		var want float64
+		chunks := Chunks(n, 128)
+		for c := 0; c < chunks; c++ {
+			lo, hi := span(n, chunks, c)
+			buf := make([]float64, 16)
+			for i := lo; i < hi; i++ {
+				buf[i%16] += math.Sin(float64(i))
+			}
+			var s float64
+			for _, v := range buf {
+				s += v
+			}
+			if c == 0 {
+				want = s
+			} else {
+				want += s
+			}
+		}
+		if math.Float64bits(results[j]) != math.Float64bits(want) {
+			t.Fatalf("job %d: %v != %v", j, results[j], want)
+		}
+	}
+}
+
+func TestParCountersAdvance(t *testing.T) {
+	before := Snapshot()
+	Ranges(100, 10, func(_, _, _ int) {})
+	after := Snapshot()
+	if after.Fanouts <= before.Fanouts {
+		t.Error("fanout counter did not advance")
+	}
+	if after.Chunks < before.Chunks+10 {
+		t.Errorf("chunk counter advanced %d, want >= 10", after.Chunks-before.Chunks)
+	}
+}

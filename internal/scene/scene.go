@@ -29,8 +29,29 @@ import (
 	"math/rand"
 
 	"repro/internal/cube"
+	"repro/internal/par"
 	"repro/internal/spectral"
 )
+
+// RNG stream identifiers for derived per-row generators. Painting and
+// noise draw from disjoint streams so neither can alias the other (or the
+// scene-level generator) at any row index.
+const (
+	streamPaint = 11
+	streamNoise = 8
+)
+
+// derivedSeed derives an independent RNG seed for one row of one stream
+// from the scene seed, using the splitmix64 finalizer. Rows seed their own
+// generators, so the random content of a row depends only on (seed,
+// stream, row) — never on which goroutine paints it or how rows are
+// chunked — which is what keeps parallel generation deterministic.
+func derivedSeed(seed int64, stream, idx uint64) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*((stream<<32|idx)+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
 
 // ClassNames are the seven USGS dust/debris classes of Table 4.
 var ClassNames = []string{
@@ -162,64 +183,73 @@ func Generate(cfg Config) (*Scene, error) {
 	turb := newTurbulence(rng)
 
 	// Pass 1: assign the debris class map (needed to grade mixing by
-	// distance to the nearest patch border in pass 2).
-	for l := dz.l0; l < dz.l1; l++ {
-		for s := dz.s0; s < dz.s1; s++ {
-			truth.ClassMap[c.FlatIndex(l, s)] = nearestSeedClass(seeds, l, s)
+	// distance to the nearest patch border in pass 2). Rows are independent
+	// and draw no randomness, so they fan out over the par budget.
+	par.Lines(dz.lines(), 1, func(_, lo, hi int) {
+		for l := dz.l0 + lo; l < dz.l0+hi; l++ {
+			for s := dz.s0; s < dz.s1; s++ {
+				truth.ClassMap[c.FlatIndex(l, s)] = nearestSeedClass(seeds, l, s)
+			}
 		}
-	}
+	})
 
-	// Pass 2: paint every pixel.
-	for l := 0; l < cfg.Lines; l++ {
-		for s := 0; s < cfg.Samples; s++ {
-			p := c.FlatIndex(l, s)
-			var sig []float32
-			switch {
-			case dz.contains(l, s):
-				cls := truth.ClassMap[p]
-				// Debris is intimately mixed, most of all at patch
-				// borders, where the sensor's point spread blends the
-				// adjacent materials: interiors run ~90% pure, border
-				// pixels drop toward 60%. The graded borders produce the
-				// paper's gradual per-class accuracy spread rather than
-				// an all-or-nothing class collapse.
-				other, dist := neighbourClass(truth.ClassMap, c, l, s)
-				if other < 0 {
-					other = (cls + 1 + rng.Intn(NumClasses-1)) % NumClasses
+	// Pass 2: paint every pixel. Each row seeds its own generator from
+	// (Seed, streamPaint, row), so the painted scene is a pure function of
+	// the configuration — independent of the worker budget and of how rows
+	// are chunked across goroutines.
+	par.Lines(cfg.Lines, 1, func(_, lo, hi int) {
+		for l := lo; l < hi; l++ {
+			rowRng := rand.New(rand.NewSource(derivedSeed(cfg.Seed, streamPaint, uint64(l))))
+			for s := 0; s < cfg.Samples; s++ {
+				p := c.FlatIndex(l, s)
+				var sig []float32
+				switch {
+				case dz.contains(l, s):
+					cls := truth.ClassMap[p]
+					// Debris is intimately mixed, most of all at patch
+					// borders, where the sensor's point spread blends the
+					// adjacent materials: interiors run ~90% pure, border
+					// pixels drop toward 60%. The graded borders produce the
+					// paper's gradual per-class accuracy spread rather than
+					// an all-or-nothing class collapse.
+					other, dist := neighbourClass(truth.ClassMap, c, l, s)
+					if other < 0 {
+						other = (cls + 1 + rowRng.Intn(NumClasses-1)) % NumClasses
+					}
+					var a float64
+					switch dist {
+					case 1: // immediate border: a coin-flip mixture
+						a = 0.48 + 0.05*rowRng.Float64()
+					case 2:
+						a = 0.66 + 0.05*rowRng.Float64()
+					case 3:
+						a = 0.80 + 0.05*rowRng.Float64()
+					default: // interior
+						a = 0.88 + 0.04*rowRng.Float64()
+					}
+					b := (1 - a) * 0.7
+					sig = spectral.Mix(
+						[][]float32{classSigs[cls], classSigs[other], dustGeneric},
+						[]float64{a, b, 1 - a - b})
+				case l < cfg.Lines/5:
+					sig = mixBackground(rowRng, veg, asphalt)
+				case l >= cfg.Lines-cfg.Lines/6:
+					sig = mixBackground(rowRng, water, asphalt)
+				default:
+					sig = mixBackground(rowRng, asphalt, veg)
 				}
-				var a float64
-				switch dist {
-				case 1: // immediate border: a coin-flip mixture
-					a = 0.48 + 0.05*rng.Float64()
-				case 2:
-					a = 0.66 + 0.05*rng.Float64()
-				case 3:
-					a = 0.80 + 0.05*rng.Float64()
-				default: // interior
-					a = 0.88 + 0.04*rng.Float64()
+				// Smoke plume: a diagonal streak from the debris field toward
+				// the lower-left (Battery Park), as in Fig. 1. Plume pixels
+				// carry signed low-dimensional scattering variability (see
+				// plumeModes) in addition to the mean smoke spectrum.
+				if w := plumeWeight(cfg, dz, l, s); w > 0 {
+					sig = spectral.Mix([][]float32{sig, smoke}, []float64{1 - w, w})
+					sig = perturbWithModes(sig, modes, turb.coefficients(rowRng, l, s, 0.62*w))
 				}
-				b := (1 - a) * 0.7
-				sig = spectral.Mix(
-					[][]float32{classSigs[cls], classSigs[other], dustGeneric},
-					[]float64{a, b, 1 - a - b})
-			case l < cfg.Lines/5:
-				sig = mixBackground(rng, veg, asphalt)
-			case l >= cfg.Lines-cfg.Lines/6:
-				sig = mixBackground(rng, water, asphalt)
-			default:
-				sig = mixBackground(rng, asphalt, veg)
+				c.SetPixel(l, s, sig)
 			}
-			// Smoke plume: a diagonal streak from the debris field toward
-			// the lower-left (Battery Park), as in Fig. 1. Plume pixels
-			// carry signed low-dimensional scattering variability (see
-			// plumeModes) in addition to the mean smoke spectrum.
-			if w := plumeWeight(cfg, dz, l, s); w > 0 {
-				sig = spectral.Mix([][]float32{sig, smoke}, []float64{1 - w, w})
-				sig = perturbWithModes(sig, modes, turb.coefficients(rng, l, s, 0.62*w))
-			}
-			c.SetPixel(l, s, sig)
 		}
-	}
+	})
 
 	// Thermal hot spots: one pixel each, spread over the debris field.
 	truth.HotSpots = plantHotSpots(c, dz, n)
@@ -230,7 +260,7 @@ func Generate(cfg Config) (*Scene, error) {
 	}
 
 	// Additive Gaussian noise at the configured SNR.
-	addNoise(rng, c, cfg.SNRdB)
+	addNoise(cfg.Seed, c, cfg.SNRdB)
 
 	return &Scene{Cube: c, Truth: truth, Library: lib, Config: cfg}, nil
 }
@@ -517,20 +547,37 @@ func plantShadows(rng *rand.Rand, c *cube.Cube, truth *GroundTruth, fraction flo
 }
 
 // addNoise perturbs every sample with Gaussian noise at the given SNR,
-// measured against the scene's mean signal power.
-func addNoise(rng *rand.Rand, c *cube.Cube, snrDB float64) {
-	var power float64
-	for _, v := range c.Data {
-		power += float64(v) * float64(v)
-	}
-	power /= float64(len(c.Data))
+// measured against the scene's mean signal power. The power sum folds
+// per-chunk partials in ascending chunk order and each row draws its
+// noise from a generator seeded by (seed, streamNoise, row), so the noisy
+// scene is bit-identical at any par worker budget.
+func addNoise(seed int64, c *cube.Cube, snrDB float64) {
+	n := len(c.Data)
+	power := par.ReduceOrdered(n, par.Chunks(n, 65536),
+		func(_, lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				v := float64(c.Data[i])
+				s += v * v
+			}
+			return s
+		},
+		func(acc, v float64) float64 { return acc + v })
+	power /= float64(n)
 	sigma := math.Sqrt(power / math.Pow(10, snrDB/10))
-	for i := range c.Data {
-		c.Data[i] += float32(sigma * rng.NormFloat64())
-		if c.Data[i] < 0 {
-			c.Data[i] = 0
+	rowLen := c.Samples * c.Bands
+	par.Lines(c.Lines, 1, func(_, lo, hi int) {
+		for l := lo; l < hi; l++ {
+			rowRng := rand.New(rand.NewSource(derivedSeed(seed, streamNoise, uint64(l))))
+			row := c.Data[l*rowLen : (l+1)*rowLen]
+			for i := range row {
+				row[i] += float32(sigma * rowRng.NormFloat64())
+				if row[i] < 0 {
+					row[i] = 0
+				}
+			}
 		}
-	}
+	})
 }
 
 // buildLibrary synthesizes the endmember library: background materials,

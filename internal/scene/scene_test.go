@@ -342,3 +342,11 @@ func TestHotSpotThermalShapeSurvivesMixing(t *testing.T) {
 		}
 	}
 }
+
+func BenchmarkKernelSceneGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Config{Lines: 128, Samples: 64, Bands: 48, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,13 +10,19 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cube"
+	"repro/internal/par"
 	"repro/internal/platform"
 )
 
-// CubeDigest returns a stable 64-bit FNV-1a digest of a cube's geometry
-// and samples, the scene component of the scheduler's result-cache key.
+// CubeDigest returns a stable 64-bit digest of a cube's geometry and
+// samples, the scene component of the scheduler's result-cache key.
 // Submitters that reuse one cube across many jobs can compute it once and
 // pass it in JobSpec.CubeDigest to skip the per-submit hashing pass.
+//
+// Samples are hashed as fixed-size FNV-1a sub-digests (the split depends
+// only on the sample count, never on the worker budget) that fan out over
+// the par worker pool and are folded into the outer hash in ascending
+// order, so the digest is stable at any parallelism.
 func CubeDigest(c *cube.Cube) string {
 	h := fnv.New64a()
 	var dims [24]byte
@@ -24,17 +30,34 @@ func CubeDigest(c *cube.Cube) string {
 	binary.LittleEndian.PutUint64(dims[8:], uint64(c.Samples))
 	binary.LittleEndian.PutUint64(dims[16:], uint64(c.Bands))
 	h.Write(dims[:])
-	// Hash samples in chunks to keep Write calls off the per-sample path.
-	const chunk = 4096
-	buf := make([]byte, 0, chunk*4)
-	for i, v := range c.Data {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
-		buf = append(buf, b[:]...)
-		if len(buf) == cap(buf) || i == len(c.Data)-1 {
-			h.Write(buf)
-			buf = buf[:0]
+	const chunkSamples = 1 << 16
+	n := len(c.Data)
+	numChunks := (n + chunkSamples - 1) / chunkSamples
+	subs := make([]uint64, numChunks)
+	par.Ranges(numChunks, par.Chunks(numChunks, 1), func(_, lo, hi int) {
+		buf := make([]byte, 0, 4096*4)
+		for ci := lo; ci < hi; ci++ {
+			sh := fnv.New64a()
+			end := (ci + 1) * chunkSamples
+			if end > n {
+				end = n
+			}
+			for i := ci * chunkSamples; i < end; i++ {
+				var b [4]byte
+				binary.LittleEndian.PutUint32(b[:], math.Float32bits(c.Data[i]))
+				buf = append(buf, b[:]...)
+				if len(buf) == cap(buf) || i == end-1 {
+					sh.Write(buf)
+					buf = buf[:0]
+				}
+			}
+			subs[ci] = sh.Sum64()
 		}
+	})
+	var b8 [8]byte
+	for _, s := range subs {
+		binary.LittleEndian.PutUint64(b8[:], s)
+		h.Write(b8[:])
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -97,3 +97,14 @@ func TestResultCacheDisabled(t *testing.T) {
 		t.Fatal("disabled cache reports entries")
 	}
 }
+
+func BenchmarkKernelCubeDigest(b *testing.B) {
+	f := cube.MustNew(256, 128, 32)
+	for i := range f.Data {
+		f.Data[i] = float32(i%251) / 251
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CubeDigest(f)
+	}
+}

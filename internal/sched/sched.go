@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/telemetry"
 )
@@ -418,6 +419,13 @@ type Config struct {
 	// Workers is the size of the execution pool: how many simulated
 	// networks run concurrently (default 2).
 	Workers int
+	// KernelWorkers caps the host goroutines the data-parallel kernels
+	// (package par) may use, shared across all concurrently running jobs;
+	// the budget is applied once at scheduler construction. Zero keeps
+	// the package default (runtime.GOMAXPROCS at each kernel call). The
+	// budget bounds CPU use only — par kernels are bit-deterministic in
+	// the worker count, so it never changes job results.
+	KernelWorkers int
 	// QueueDepth bounds the submission queue across both priority
 	// classes; a full queue rejects with ErrQueueFull (default 64).
 	QueueDepth int
@@ -539,6 +547,9 @@ func New(cfg Config) *Scheduler {
 	}
 	s.journal = s.cfg.Journal
 	s.cache = newResultCache(s.cfg.CacheEntries)
+	if s.cfg.KernelWorkers > 0 {
+		par.SetMaxWorkers(s.cfg.KernelWorkers)
+	}
 	if s.cfg.Registry != nil {
 		s.tel = newSchedMetrics(s, s.cfg.Registry)
 	}
@@ -770,7 +781,9 @@ func (s *Scheduler) dequeue(j *Job) bool {
 }
 
 // Jobs returns every job the scheduler knows — queued, running and
-// retained finished — in ascending job-number order.
+// retained finished — in deterministic listing order: ascending submit
+// time, ties broken by ID (numeric for native "job-N" IDs, so job-10
+// lists after job-9).
 func (s *Scheduler) Jobs() []*Job {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
@@ -779,6 +792,10 @@ func (s *Scheduler) Jobs() []*Job {
 	}
 	s.mu.Unlock()
 	sort.Slice(jobs, func(a, b int) bool {
+		ta, tb := jobs[a].submittedAt, jobs[b].submittedAt
+		if !ta.Equal(tb) {
+			return ta.Before(tb)
+		}
 		na, nb := jobNumber(jobs[a].id), jobNumber(jobs[b].id)
 		if na != nb {
 			return na < nb

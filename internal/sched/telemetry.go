@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/telemetry"
 )
 
@@ -46,6 +47,16 @@ func newSchedMetrics(s *Scheduler, reg *telemetry.Registry) *schedMetrics {
 	reg.NewGaugeFunc("hyperhet_sched_cache_entries",
 		"Result-cache population.", func() float64 {
 			return float64(s.cache.len())
+		})
+	reg.NewGaugeFunc("hyperhet_kernel_workers_in_use",
+		"Borrowed helper goroutines currently executing data-parallel kernel chunks.",
+		func() float64 {
+			return float64(par.WorkersInUse())
+		})
+	reg.NewCounterFunc("hyperhet_kernel_parallel_chunks_total",
+		"Chunks executed by the data-parallel kernel runtime across all fan-outs.",
+		func() float64 {
+			return float64(par.Snapshot().Chunks)
 		})
 	return &schedMetrics{
 		submitted: reg.NewCounter("hyperhet_sched_submitted_total",

@@ -47,6 +47,13 @@ func angle(dot, na, nb float64) float64 {
 		return math.Pi / 2
 	}
 	c := dot / math.Sqrt(na*nb)
+	if math.IsNaN(c) {
+		// A NaN sample (or inf*0 in the dot product) would otherwise make
+		// every comparison against this distance false, silently poisoning
+		// argmin scans like MostSimilar. Treat the pixel as maximally
+		// dissimilar instead.
+		return math.Pi
+	}
 	// Clamp against floating-point drift before arccos.
 	if c > 1 {
 		c = 1
@@ -54,6 +61,21 @@ func angle(dot, na, nb float64) float64 {
 		c = -1
 	}
 	return math.Acos(c)
+}
+
+// Finite reports whether every sample of v is finite. Corrupt pixels —
+// NaN or Inf samples from a dropped calibration frame or a dead detector
+// element — must be excluded from scene statistics and endmember
+// candidacy; SAD alone only guarantees they compare as maximally
+// dissimilar.
+func Finite(v []float32) bool {
+	for _, x := range v {
+		// x-x is 0 for finite x and NaN for NaN or ±Inf.
+		if x-x != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // FlopsSAD is the cost of one SAD evaluation on n-band vectors.

@@ -98,6 +98,54 @@ func TestQuickSADSymmetricBounded(t *testing.T) {
 	}
 }
 
+// Regression: a NaN (or Inf-contaminated) sample used to yield a NaN
+// distance, and NaN compares false against everything — argmin scans
+// like MostSimilar would silently keep their initial +Inf "best" and
+// report garbage. Non-finite inputs must map to pi instead.
+func TestSADNonFiniteMaximallyDissimilar(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	clean := []float32{0.3, 0.7, 0.1}
+	cases := [][]float32{
+		{nan, 0.7, 0.1},
+		{0.3, nan, nan},
+		{inf, 0.7, 0.1},
+		{0.3, float32(math.Inf(-1)), 0.1},
+	}
+	for i, dirty := range cases {
+		if got := SAD(dirty, clean); got != math.Pi {
+			t.Errorf("case %d: SAD(dirty, clean) = %v, want pi", i, got)
+		}
+		if got := SAD(clean, dirty); got != math.Pi {
+			t.Errorf("case %d: SAD(clean, dirty) = %v, want pi", i, got)
+		}
+	}
+	if got := SADf64([]float64{math.NaN(), 1}, []float64{1, 1}); got != math.Pi {
+		t.Errorf("SADf64 with NaN = %v, want pi", got)
+	}
+}
+
+func TestMostSimilarNaNPixelNotPoisoned(t *testing.T) {
+	set := [][]float32{{1, 0}, {0, 1}}
+	i, d := MostSimilar([]float32{float32(math.NaN()), 1}, set)
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		t.Fatalf("NaN pixel poisoned the scan: d = %v", d)
+	}
+	if i != 0 || d != math.Pi {
+		t.Errorf("NaN pixel: got (%d, %v), want deterministic (0, pi)", i, d)
+	}
+}
+
+func TestMostSimilarSkipsNaNSignature(t *testing.T) {
+	// A corrupt library entry must lose to any finite match, and lose
+	// deterministically even when it is scanned first.
+	set := [][]float32{{float32(math.NaN()), 0.5}, {0, 1}}
+	i, d := MostSimilar([]float32{0, 2}, set)
+	if i != 1 || d > 1e-6 {
+		t.Errorf("got (%d, %v), want the clean matching signature (1, ~0)", i, d)
+	}
+}
+
 func TestMostSimilar(t *testing.T) {
 	set := [][]float32{{1, 0}, {0, 1}, {1, 1}}
 	i, d := MostSimilar([]float32{2, 2.1}, set)

@@ -261,6 +261,28 @@ func (g *GaugeFunc) collect(b *strings.Builder) {
 	fmt.Fprintf(b, "%s %s\n", g.name, formatFloat(g.fn()))
 }
 
+// CounterFunc reads a monotonic value through a callback at scrape time,
+// for counters whose source of truth lives elsewhere (e.g. package-level
+// atomics in a kernel runtime). The callback must be monotonically
+// non-decreasing for the counter type to be truthful.
+type CounterFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewCounterFunc creates and registers a scrape-time counter.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) *CounterFunc {
+	c := &CounterFunc{name: name, help: help, fn: fn}
+	r.register(c)
+	return c
+}
+
+func (c *CounterFunc) desc() (string, string, string) { return c.name, c.help, "counter" }
+
+func (c *CounterFunc) collect(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %s\n", c.name, formatFloat(c.fn()))
+}
+
 // DefBuckets are the default histogram buckets, spanning the millisecond
 // to minute range of both simulated virtual times and real job
 // latencies.
