@@ -1,0 +1,33 @@
+package checkpoint
+
+// NotifyStore wraps a Checkpointer and reports every successful save to a
+// callback. It exists for deterministic teardown in test harnesses (the
+// internal/sim crash injector drains a scheduler the moment a chosen job
+// reaches a chosen round), but is usable by any observer that needs
+// save-ordering guarantees: OnSave runs after the inner store — and, when
+// the inner store journals, after the journal append — has accepted the
+// snapshot, on the saving goroutine.
+type NotifyStore struct {
+	// Inner is the wrapped store; required.
+	Inner Checkpointer
+	// OnSave, when non-nil, observes each successfully saved snapshot.
+	// It must not block for long: the simulated master's save path waits
+	// on it.
+	OnSave func(Snapshot)
+}
+
+// Save stores s in the inner store, then notifies.
+func (n *NotifyStore) Save(s Snapshot) error {
+	if err := n.Inner.Save(s); err != nil {
+		return err
+	}
+	if n.OnSave != nil {
+		n.OnSave(s)
+	}
+	return nil
+}
+
+// Latest delegates to the inner store.
+func (n *NotifyStore) Latest() (Snapshot, bool) {
+	return n.Inner.Latest()
+}

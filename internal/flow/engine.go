@@ -99,6 +99,14 @@ type Config struct {
 	// RetainPipelines bounds how many finished pipelines stay queryable
 	// by ID before the oldest are evicted (default 256).
 	RetainPipelines int
+	// OnStageDone, when non-nil, observes every stage of a live pipeline
+	// the moment it settles — completed, failed or skipped. Stages
+	// restored from the journal are not reported: they settled in a
+	// previous process. The simulation harness (internal/sim) uses the
+	// hook to drain the engine at a deterministic pipeline event; it runs
+	// on the pipeline's goroutines and must not block — in particular it
+	// must not call Drain or Close, which wait for those goroutines.
+	OnStageDone func(p *Pipeline, stage string, state StageState)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -217,6 +225,10 @@ func (o *stageOutput) materializeScene(p SceneProvider, cfg scene.Config) (*scen
 
 // ID returns the engine-assigned pipeline identifier.
 func (p *Pipeline) ID() string { return p.id }
+
+// Name returns the caller label from the pipeline's spec ("" for
+// journal-restored finished pipelines, whose Status carries the name).
+func (p *Pipeline) Name() string { return p.spec.Name }
 
 // Done returns a channel closed when the pipeline settles.
 func (p *Pipeline) Done() <-chan struct{} { return p.done }
@@ -643,6 +655,13 @@ func (e *Engine) Drain() {
 	e.Close()
 }
 
+// stageDone reports one settled stage to the configured observer.
+func (e *Engine) stageDone(p *Pipeline, stage string, state StageState) {
+	if e.cfg.OnStageDone != nil {
+		e.cfg.OnStageDone(p, stage, state)
+	}
+}
+
 // journalAppend writes one pipeline record. Append failures degrade
 // durability, never correctness, so they are dropped (the scheduler owns
 // the append-error counter for the shared journal file).
@@ -707,6 +726,7 @@ func (e *Engine) run(p *Pipeline, order []int) {
 					d.err = fmt.Errorf("flow: upstream stage %s failed", st.spec.Name)
 					p.mu.Unlock()
 					e.tel.stageOutcome("skipped")
+					e.stageDone(p, d.spec.Name, StageSkipped)
 					settle(d, nil) // the skip itself is not a new failure
 				}
 			}
@@ -777,9 +797,13 @@ func (e *Engine) run(p *Pipeline, order []int) {
 
 		if msg.err != nil {
 			e.tel.stageFinished(msg.st.spec.Kind, "failed", elapsed)
+			e.stageDone(p, msg.st.spec.Name, StageFailed)
 		} else {
 			e.tel.stageFinished(msg.st.spec.Kind, "completed", elapsed)
+			// Journal before notifying: an observer that tears the
+			// process down on this event must find the stage durable.
 			e.journalStage(p, msg.st)
+			e.stageDone(p, msg.st.spec.Name, StageCompleted)
 		}
 		settle(msg.st, msg.err)
 	}

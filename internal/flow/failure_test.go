@@ -1,0 +1,224 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/platform"
+	"repro/internal/scene"
+	"repro/internal/sched"
+)
+
+// stageEvents records OnStageDone notifications.
+type stageEvents struct {
+	mu     sync.Mutex
+	events map[string]StageState
+}
+
+func newStageEvents() *stageEvents {
+	return &stageEvents{events: make(map[string]StageState)}
+}
+
+func (r *stageEvents) hook(_ *Pipeline, stage string, state StageState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events[stage] = state
+}
+
+func (r *stageEvents) get(stage string) (StageState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.events[stage]
+	return st, ok
+}
+
+// TestDrainMidPipelineSkipsDependents drains the stack while an analyze
+// stage sits in its retry backoff: the stage must fail with the
+// cancellation, its dependent synthesize stage must be skipped (and
+// reported skipped to OnStageDone), and the pipeline's journal story
+// must stay open so a restart resumes it.
+func TestDrainMidPipelineSkipsDependents(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := sched.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Close()
+
+	// A long retry backoff is the one deterministic mid-lifecycle hold
+	// point: the stage job's first attempt dies fast on an injected
+	// crash, then the scheduler parks it in an interruptible sleep that
+	// only the drain's cancellation can cut short.
+	s := sched.New(sched.Config{
+		Workers:        2,
+		Journal:        jl,
+		RetryBaseDelay: 30 * time.Second,
+		RetryMaxDelay:  time.Minute,
+	})
+	events := newStageEvents()
+	e, err := New(Config{Scheduler: s, Journal: jl, OnStageDone: events.hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	job := sched.JobSpec{
+		Mode:      sched.ModeRun,
+		Algorithm: core.ATDCA,
+		Network:   platform.FullyHeterogeneous(),
+		Params: core.Params{
+			Targets: 4,
+			Faults: &fault.Plan{Crashes: []fault.Crash{
+				{Rank: 1, At: 0.0001, Attempt: 1},
+			}},
+		},
+		MaxAttempts: 2,
+	}
+	spec := PipelineSpec{
+		Name: "drain-victim",
+		Stages: []StageSpec{
+			{Name: "scene", Kind: KindScene, Scene: testSceneCfg},
+			{Name: "analyze", Kind: KindAnalyze, After: []string{"scene"}, Job: job},
+			{Name: "synth", Kind: KindSynthesize, After: []string{"analyze"}},
+		},
+		JournalPayload: []byte(`{"name":"drain-victim"}`),
+	}
+	p, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Stats().Retries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stage job never reached its retry backoff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Drain()
+	s.Drain()
+
+	if got := p.State(); got != PipelineCancelled {
+		t.Fatalf("pipeline state after mid-flight drain: %s, want %s", got, PipelineCancelled)
+	}
+	status := p.Status()
+	byName := map[string]StageStatus{}
+	for _, ss := range status.Stages {
+		byName[ss.Name] = ss
+	}
+	if got := byName["analyze"].State; got != StageFailed {
+		t.Errorf("analyze stage state: %s, want %s", got, StageFailed)
+	}
+	if got := byName["synth"].State; got != StageSkipped {
+		t.Errorf("synth stage state: %s, want %s (dependent of a drained stage)", got, StageSkipped)
+	}
+	if st, ok := events.get("analyze"); !ok || st != StageFailed {
+		t.Errorf("OnStageDone for analyze: (%s, %v), want (%s, true)", st, ok, StageFailed)
+	}
+	if st, ok := events.get("synth"); !ok || st != StageSkipped {
+		t.Errorf("OnStageDone for synth: (%s, %v), want (%s, true)", st, ok, StageSkipped)
+	}
+
+	// A drain defers, it does not abandon: the journal story must still
+	// be open for the next boot to resume.
+	jl.Close()
+	state, err := sched.ReplayJournalState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state == nil || len(state.Pipelines) != 1 {
+		t.Fatalf("replay saw %+v, want exactly one pipeline story", state)
+	}
+	if state.Pipelines[0].Finished {
+		t.Error("drained pipeline's journal story is closed; drain must leave it open for resume")
+	}
+}
+
+// TestQueueFullBackoffCancelled exhausts the scheduler's admission queue
+// and asserts a pipeline stuck in submitJob's queue-full backoff loop
+// honors cancellation instead of retrying forever.
+func TestQueueFullBackoffCancelled(t *testing.T) {
+	release := make(chan struct{})
+	s := sched.New(sched.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		OnJobRunning: func(j *sched.Job) {
+			if j.Spec().Label == "parked" {
+				<-release // park the only worker
+			}
+		},
+	})
+	defer s.Close()
+	defer close(release) // before s.Close (LIFO), so the worker can exit
+
+	e, err := New(Config{Scheduler: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	sc, err := scene.Generate(testSceneCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := analyzeJob(core.ATDCA)
+	parked.Label = "parked"
+	parked.Cube = sc.Cube
+	pj, err := s.Submit(context.Background(), parked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for pj.State() != sched.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("parked job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	filler := analyzeJob(core.UFCLS)
+	filler.Label = "filler"
+	filler.Cube = sc.Cube
+	if _, err := s.Submit(context.Background(), filler); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := PipelineSpec{
+		Name: "backoff-victim",
+		Stages: []StageSpec{
+			{Name: "scene", Kind: KindScene, Scene: testSceneCfg},
+			{Name: "analyze", Kind: KindAnalyze, After: []string{"scene"}, Job: analyzeJob(core.PCT)},
+		},
+	}
+	p, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The stage's submission must hit the full queue at least once
+	// before the cancel, so the backoff loop is what gets cancelled.
+	deadline = time.Now().Add(30 * time.Second)
+	for s.Stats().Rejected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stage submission never hit the full queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Cancel()
+
+	select {
+	case <-p.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline did not settle after cancellation mid-backoff")
+	}
+	if got := p.State(); got != PipelineCancelled {
+		t.Fatalf("pipeline state: %s, want %s", got, PipelineCancelled)
+	}
+	if err := p.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pipeline error: %v, want a context cancellation", err)
+	}
+}

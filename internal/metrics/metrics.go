@@ -73,7 +73,11 @@ func Classification(truth []int, numClasses int, pred []int) (Accuracy, error) {
 	if total == 0 {
 		return Accuracy{}, fmt.Errorf("metrics: no ground-truth pixels")
 	}
-	// Greedy one-to-one assignment by descending overlap.
+	// Greedy one-to-one assignment by descending overlap. Ties are
+	// broken by (pred label, truth class) order: map iteration order is
+	// randomized, and letting it pick among equal overlaps made kappa —
+	// which depends on the off-diagonal placement the mapping induces —
+	// differ between identical runs.
 	mapping := map[int]int{}
 	usedTruth := map[int]bool{}
 	for len(mapping) < numClasses {
@@ -82,7 +86,9 @@ func Classification(truth []int, numClasses int, pred []int) (Accuracy, error) {
 			if _, done := mapping[key[0]]; done || usedTruth[key[1]] {
 				continue
 			}
-			if c > bestC {
+			better := c > bestC ||
+				(c == bestC && (key[0] < bp || (key[0] == bp && key[1] < bt)))
+			if better {
 				bestC, bp, bt = c, key[0], key[1]
 			}
 		}

@@ -121,10 +121,23 @@ type Journal struct {
 	f  *os.File
 }
 
+// JournalPath returns the path of the journal file inside dir, for tools
+// that inspect — or deliberately damage — the raw log (the crash
+// simulation harness tears journals at arbitrary byte offsets).
+func JournalPath(dir string) string {
+	return filepath.Join(dir, journalFileName)
+}
+
 // OpenJournal opens (creating directory and file as needed) the journal in
 // dir and positions it for appending. An existing file must carry the
 // expected header; replay the records first with ReplayJournal if the
 // previous process may have left state behind.
+//
+// An existing file is first truncated to its readable prefix: a crash can
+// leave a torn frame at the tail, and appending after those bytes would
+// strand every later record behind frame damage — replay stops at the
+// first bad frame, so a journal that survived two crashes would silently
+// lose everything the middle process recorded.
 func OpenJournal(dir string) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sched: creating journal dir: %w", err)
@@ -151,14 +164,24 @@ func OpenJournal(dir string) (*Journal, error) {
 			return nil, fmt.Errorf("sched: initializing journal: %w", err)
 		}
 	} else {
-		var hdr [journalHeaderLen]byte
-		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		b := make([]byte, st.Size())
+		if _, err := f.ReadAt(b, 0); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("sched: reading journal header: %w", err)
+			return nil, fmt.Errorf("sched: reading journal: %w", err)
 		}
-		if err := checkJournalHeader(hdr[:]); err != nil {
+		if err := checkJournalHeader(b); err != nil {
 			f.Close()
 			return nil, err
+		}
+		if n := validJournalLen(b); int64(n) < st.Size() {
+			if err := f.Truncate(int64(n)); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("sched: truncating torn journal tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("sched: syncing truncated journal: %w", err)
+			}
 		}
 	}
 	if _, err := f.Seek(0, 2); err != nil {
@@ -343,6 +366,26 @@ func ReplayJournalState(dir string) (*JournalState, error) {
 	st := &JournalState{Stats: stats}
 	st.Jobs, st.Pipelines = foldJournal(recs)
 	return st, nil
+}
+
+// validJournalLen returns the length of the journal's readable prefix:
+// the header plus every intact frame before the first truncated,
+// oversized or checksum-failing one. Beyond that point the framing itself
+// is untrustworthy, so the prefix is all OpenJournal may append after.
+func validJournalLen(b []byte) int {
+	off := journalHeaderLen
+	for off+8 <= len(b) {
+		n := binary.LittleEndian.Uint32(b[off:])
+		want := binary.LittleEndian.Uint32(b[off+4:])
+		if n > maxRecordLen || off+8+int(n) > len(b) {
+			break
+		}
+		if crc32.ChecksumIEEE(b[off+8:off+8+int(n)]) != want {
+			break
+		}
+		off += 8 + int(n)
+	}
+	return off
 }
 
 // decodeJournal parses the framed records, stopping — not failing — at the

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// appendRecords writes n submitted records through a fresh journal.
+func appendRecords(t *testing.T, dir string, start, n int) {
+	t.Helper()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer jl.Close()
+	for i := 0; i < n; i++ {
+		rec := Record{
+			Type:    recSubmitted,
+			Job:     fmt.Sprintf("job-%d", start+i),
+			Request: []byte(`{"label":"x"}`),
+		}
+		if err := jl.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+// TestReopenTruncatesTornTail asserts that OpenJournal cuts a torn tail
+// before appending: without the truncation, records appended after the
+// damage would sit behind an unreadable frame and vanish from every
+// future replay — exactly the corruption a crash mid-append leaves.
+func TestReopenTruncatesTornTail(t *testing.T) {
+	for _, tearBytes := range []int{1, 3, 7} {
+		dir := t.TempDir()
+		appendRecords(t, dir, 1, 3)
+
+		path := JournalPath(dir)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-int64(tearBytes)); err != nil {
+			t.Fatal(err)
+		}
+
+		// Replay over the torn file: the damaged story is gone.
+		st, err := ReplayJournalState(dir)
+		if err != nil {
+			t.Fatalf("tear %dB: replay over torn file: %v", tearBytes, err)
+		}
+		if got := len(st.Jobs); got != 2 {
+			t.Fatalf("tear %dB: replay saw %d jobs over the torn file, want 2", tearBytes, got)
+		}
+
+		// Reopen and append: the new record must be readable.
+		appendRecords(t, dir, 4, 1)
+		st, err = ReplayJournalState(dir)
+		if err != nil {
+			t.Fatalf("tear %dB: replay after reopen+append: %v", tearBytes, err)
+		}
+		if got := len(st.Jobs); got != 3 {
+			t.Fatalf("tear %dB: replay saw %d jobs after reopen+append, want 3 (torn tail not truncated?)", tearBytes, got)
+		}
+	}
+}
+
+// TestReopenTruncatesCorruptMiddle asserts a flipped byte mid-file acts
+// as a suffix erasure on reopen: everything from the damaged frame on
+// is dropped, and fresh appends land on the valid prefix.
+func TestReopenTruncatesCorruptMiddle(t *testing.T) {
+	dir := t.TempDir()
+	appendRecords(t, dir, 1, 4)
+
+	path := JournalPath(dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte ~3/4 in: the frame holding it and everything after die.
+	off := journalHeaderLen + (len(b)-journalHeaderLen)*3/4
+	b[off] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := ReplayJournalState(dir)
+	if err != nil {
+		t.Fatalf("replay over corrupt file: %v", err)
+	}
+	if len(before.Jobs) >= 4 {
+		t.Fatalf("corruption invisible to replay: %d jobs", len(before.Jobs))
+	}
+
+	appendRecords(t, dir, 5, 1)
+	after, err := ReplayJournalState(dir)
+	if err != nil {
+		t.Fatalf("replay after reopen+append: %v", err)
+	}
+	if got, want := len(after.Jobs), len(before.Jobs)+1; got != want {
+		t.Fatalf("replay saw %d jobs after reopen+append, want %d", got, want)
+	}
+}

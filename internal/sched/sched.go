@@ -457,6 +457,17 @@ type Config struct {
 	// and SubmitResumed. The scheduler never closes the journal; its
 	// owner does, after Close or Drain returns.
 	Journal *Journal
+	// OnJobRunning, when non-nil, is called from the worker goroutine
+	// after a job transitions to StateRunning and before its simulation
+	// starts. The simulation harness (internal/sim) uses it to drain the
+	// scheduler at a deterministic point in a job's life; the hook must
+	// not block — a drain initiated inside it would deadlock the worker.
+	OnJobRunning func(*Job)
+	// OnJobCheckpoint, when non-nil, observes every round snapshot a
+	// checkpointed job saves, after the store (and, with a journal, the
+	// journal append) accepted it. Runs on the job's worker goroutine;
+	// the same no-blocking rule as OnJobRunning applies.
+	OnJobCheckpoint func(j *Job, round int)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -533,8 +544,8 @@ type Scheduler struct {
 	}
 	rng *rand.Rand // backoff jitter; guarded by mu
 
-	// testHookRunning, when set (tests only), is called after a job
-	// transitions to StateRunning and before its simulation starts.
+	// testHookRunning is Config.OnJobRunning (historically a test-only
+	// hook; package tests may still set it directly before any submit).
 	testHookRunning func(*Job)
 }
 
@@ -546,6 +557,7 @@ func New(cfg Config) *Scheduler {
 		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.journal = s.cfg.Journal
+	s.testHookRunning = s.cfg.OnJobRunning
 	s.cache = newResultCache(s.cfg.CacheEntries)
 	if s.cfg.KernelWorkers > 0 {
 		par.SetMaxWorkers(s.cfg.KernelWorkers)
@@ -1006,11 +1018,16 @@ func (s *Scheduler) runJob(j *Job) {
 	if j.spec.Checkpoint {
 		mem := &checkpoint.MemStore{}
 		mem.Seed(j.seed)
+		var store checkpoint.Checkpointer = mem
 		if s.journal != nil && !j.spec.NoJournal {
-			j.ckpt = &journaledStore{inner: mem, sched: s, job: j.id}
-		} else {
-			j.ckpt = mem
+			store = &journaledStore{inner: mem, sched: s, job: j.id}
 		}
+		if hook := s.cfg.OnJobCheckpoint; hook != nil {
+			store = &checkpoint.NotifyStore{Inner: store, OnSave: func(snap checkpoint.Snapshot) {
+				hook(j, snap.Round)
+			}}
+		}
+		j.ckpt = store
 	}
 
 	maxAttempts := j.spec.MaxAttempts

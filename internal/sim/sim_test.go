@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+var (
+	simSeed = flag.Int64("sim.seed", -1, "replay one scenario seed (checked twice; the verdicts must be byte-identical)")
+	simN    = flag.Int("sim.n", 0, "override the number of seeds TestSim sweeps")
+	simBase = flag.Uint64("sim.base", 1, "first seed of the sweep")
+)
+
+// sharedScenes keeps cube generation out of every test's measured loop.
+var sharedScenes = NewSceneCache()
+
+func checkSeed(t *testing.T, seed uint64) *Verdict {
+	t.Helper()
+	v, err := Check(FromSeed(seed), CheckOptions{Dir: t.TempDir(), Scenes: sharedScenes})
+	if err != nil {
+		t.Fatalf("seed %d: harness error: %v", seed, err)
+	}
+	return v
+}
+
+// reportFailure shrinks a failing seed and fails the test with the
+// minimized scenario and its repro line.
+func reportFailure(t *testing.T, seed uint64, v *Verdict) {
+	t.Helper()
+	res, err := Minimize(FromSeed(seed), CheckOptions{Scenes: sharedScenes}, 60)
+	if err != nil {
+		t.Errorf("seed %d violated invariants:\n%s\nrepro: %s\n(shrink failed: %v)",
+			seed, v, ReproLine(seed), err)
+		return
+	}
+	t.Errorf("seed %d violated invariants:\n%s", seed, res.Report())
+}
+
+// TestSim sweeps seeded scenarios through the whole stack. With
+// -sim.seed=N it replays that one seed twice and asserts the verdicts
+// are byte-identical — the repro path the shrinker prints.
+func TestSim(t *testing.T) {
+	if *simSeed >= 0 {
+		seed := uint64(*simSeed)
+		v1 := checkSeed(t, seed)
+		v2 := checkSeed(t, seed)
+		if v1.String() != v2.String() {
+			t.Fatalf("seed %d is not deterministic:\n--- first ---\n%s\n--- second ---\n%s", seed, v1, v2)
+		}
+		t.Logf("\n%s", v1)
+		if !v1.OK() {
+			reportFailure(t, seed, v1)
+		}
+		return
+	}
+	n := *simN
+	if n == 0 {
+		n = 40
+		if testing.Short() {
+			n = 25
+		}
+	}
+	for i := 0; i < n; i++ {
+		seed := *simBase + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if v := checkSeed(t, seed); !v.OK() {
+				reportFailure(t, seed, v)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterministic asserts seed → scenario expansion is pure.
+func TestScenarioDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		a, b := FromSeed(seed), FromSeed(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d expanded to different scenarios", seed)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("seed %d rendered differently across expansions", seed)
+		}
+	}
+}
+
+// TestVerdictDeterministic asserts the full check pipeline — run, crash,
+// resume, digest, render — is byte-reproducible for one seed.
+func TestVerdictDeterministic(t *testing.T) {
+	const seed = 3
+	v1 := checkSeed(t, seed)
+	v2 := checkSeed(t, seed)
+	if v1.String() != v2.String() {
+		t.Fatalf("verdict for seed %d changed between runs:\n--- first ---\n%s\n--- second ---\n%s", seed, v1, v2)
+	}
+}
+
+// TestBrokenInvariantIsCaughtAndShrunk wires a deliberately false
+// invariant through CheckOptions.Extra and asserts the harness catches
+// it, minimizes the scenario, and reports the repro line — the
+// machinery a real invariant breach would ride.
+func TestBrokenInvariantIsCaughtAndShrunk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking pass is slow; run without -short")
+	}
+	const seed = 7
+	opts := CheckOptions{
+		Scenes: sharedScenes,
+		Extra: func(o *Outcome) []string {
+			// "No job ever completes" — false by construction.
+			for _, jo := range o.Jobs {
+				if jo.State == sched.StateCompleted {
+					return []string{fmt.Sprintf("injected: job %s completed", jo.Label)}
+				}
+			}
+			return nil
+		},
+	}
+	v, err := Check(FromSeed(seed), opts)
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	if v.OK() {
+		t.Fatalf("broken invariant was not caught:\n%s", v)
+	}
+
+	res, err := Minimize(FromSeed(seed), opts, 60)
+	if err != nil {
+		t.Fatalf("shrink failed: %v", err)
+	}
+	if res.Verdict.OK() {
+		t.Fatalf("shrunk scenario no longer fails:\n%s", res.Verdict)
+	}
+	if len(res.Scenario.Crashes) != 0 || len(res.Scenario.Pipelines) != 0 {
+		t.Errorf("shrink left irrelevant structure: %d crashes, %d pipelines\n%s",
+			len(res.Scenario.Crashes), len(res.Scenario.Pipelines), res.Scenario)
+	}
+	if got, want := len(res.Scenario.Jobs), 2; got > want {
+		t.Errorf("shrink left %d jobs, want <= %d:\n%s", got, want, res.Scenario)
+	}
+	report := res.Report()
+	if want := ReproLine(seed); !strings.Contains(report, want) {
+		t.Errorf("shrink report misses the repro line %q:\n%s", want, report)
+	}
+}
+
+// TestTornJournalSurvivesEveryTearOffset exhaustively tears one
+// scenario's phase-0 journal at every fraction in a coarse grid and
+// asserts the invariants hold at each — the property the journal's
+// valid-prefix truncation on reopen exists to protect.
+func TestTornJournalSurvivesEveryTearOffset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tear sweep is slow; run without -short")
+	}
+	base := FromSeed(11)
+	base.Crashes = []CrashPoint{{Kind: TrigSettled, Settle: 1, Tear: TearTruncate}}
+	for i := 0; i <= 10; i++ {
+		frac := float64(i) / 10
+		scn := base.clone()
+		scn.Crashes[0].TearFrac = frac
+		v, err := Check(scn, CheckOptions{Dir: t.TempDir(), Scenes: sharedScenes})
+		if err != nil {
+			t.Fatalf("frac %.1f: harness error: %v", frac, err)
+		}
+		if !v.OK() {
+			t.Errorf("frac %.1f: invariants failed:\n%s", frac, v)
+		}
+	}
+}

@@ -8,11 +8,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 pid=""
-trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$workdir"' EXIT
+cleanup() {
+  if [ -n "$pid" ]; then
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
 
 go build -o "$workdir/hyperhetd" ./cmd/hyperhetd
 
-addr=127.0.0.1:18099
+# Ask the kernel for a free port instead of squatting on a fixed one, so
+# parallel CI jobs (or a developer's own hyperhetd) can't collide with us.
+if command -v python3 >/dev/null 2>&1; then
+  port=$(python3 -c 'import socket; s = socket.socket(); s.bind(("127.0.0.1", 0)); print(s.getsockname()[1]); s.close()')
+else
+  port=18099
+fi
+addr=127.0.0.1:$port
 wal="$workdir/journal/journal.wal"
 
 start_server() {
