@@ -22,8 +22,8 @@ func TestReadyzAndJobsListing(t *testing.T) {
 	ts := testServer(t, hyperhet.SchedulerConfig{})
 
 	resp, doc := getJSON(t, ts.URL+"/readyz")
-	if resp.StatusCode != http.StatusOK || doc["status"] != "ready" {
-		t.Fatalf("readyz = %d %v, want 200 ready", resp.StatusCode, doc)
+	if resp.StatusCode != http.StatusOK || doc["status"] != "ok" {
+		t.Fatalf("readyz = %d %v, want 200 ok", resp.StatusCode, doc)
 	}
 
 	var ids []string
@@ -192,6 +192,9 @@ func TestJournalRestartResumesJobs(t *testing.T) {
 	resp, _ = postJSON(t, ts1.URL+"/submit", tinyJob)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit while drained = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("drain 503 carries no Retry-After header")
 	}
 	resp, _ = getJSON(t, ts1.URL+"/jobs/"+longID)
 	if resp.StatusCode != http.StatusOK {

@@ -112,6 +112,8 @@ func main() {
 		journal = flag.String("journal", "", "job-journal directory; enables durability and crash/restart resume")
 		drainTO = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
 		kernelW = flag.Int("kernel-workers", 0, "host goroutine budget for data-parallel kernels, shared across jobs (0 = GOMAXPROCS)")
+		shed    = flag.Bool("shed", false, "enable overload control: adaptive AIMD admission, deadline-aware shedding (429 + Retry-After) and per-backend circuit breaking (503)")
+		hedge   = flag.Bool("hedge", false, "enable straggler hedging: a job running past its class p95 races a second attempt, first finisher wins")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -132,14 +134,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := newServer(hyperhet.SchedulerConfig{
+	cfg := hyperhet.SchedulerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		RetainJobs:     *retain,
 		DefaultTimeout: *timeout,
 		KernelWorkers:  *kernelW,
-	}, *journal)
+	}
+	if *shed || *hedge {
+		gcfg := hyperhet.GuardConfig{
+			Hedge: hyperhet.GuardHedgeConfig{Enabled: *hedge},
+		}
+		if !*shed {
+			// Hedging without -shed: run the admission side wide open (the
+			// limit pinned far above any realistic in-flight count, no
+			// breakers) so the guard only supplies hedge timing.
+			const wideOpen = 1 << 20
+			gcfg.Limiter = hyperhet.GuardLimiterConfig{Initial: wideOpen, Min: wideOpen, Max: wideOpen}
+			gcfg.DisableBreaker = true
+		}
+		cfg.Guard = hyperhet.NewGuard(gcfg)
+	}
+	srv, err := newServer(cfg, *journal)
 	if err != nil {
 		log.Fatalf("hyperhetd: %v", err)
 	}
@@ -160,7 +177,7 @@ func main() {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("hyperhetd listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	log.Printf("hyperhetd listening on %s (%d workers, queue %d, shed=%v, hedge=%v)", *addr, *workers, *queue, *shed, *hedge)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("hyperhetd: %v", err)
 	}
@@ -351,13 +368,20 @@ func (s *server) routes() http.Handler {
 	})
 	// Readiness is distinct from liveness: a draining server is still
 	// alive (health checks pass, status queries answer) but must be
-	// rotated out of load balancing before it exits.
+	// rotated out of load balancing before it exits. The three bodies are
+	// deliberately distinct so probes can tell terminal unreadiness
+	// ("draining" — rotate out for good) from transient unreadiness
+	// ("breaker-open" — a backend circuit breaker is rejecting; the
+	// server recovers once its cooldown probe succeeds).
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
+		switch {
+		case s.draining.Load():
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
+		case s.sched.GuardState().BreakersOpen > 0:
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "breaker-open"})
+		default:
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	if s.enablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -419,6 +443,9 @@ type sceneRequest struct {
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		// Draining never un-drains: the Retry-After points clients at the
+		// window in which a replacement instance should be serving.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
 		return
 	}
@@ -462,10 +489,19 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// r.Context(), which dies as soon as this handler returns.
 	job, err := s.sched.Submit(context.Background(), spec)
 	switch {
-	case errors.Is(err, hyperhet.ErrQueueFull):
+	// Breaker denials before generic sheds: a ShedError matches both
+	// sentinels, and an open breaker is the backend's problem (503), not
+	// the client's rate (429).
+	case errors.Is(err, hyperhet.ErrBreakerOpen):
+		setRetryAfter(w, err)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, hyperhet.ErrShed), errors.Is(err, hyperhet.ErrQueueFull):
+		setRetryAfter(w, err)
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, hyperhet.ErrSchedulerClosed):
+		setRetryAfter(w, err)
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -857,6 +893,9 @@ type statsResponse struct {
 	hyperhet.SchedulerStats
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	ScenesCached  int     `json:"scenes_cached"`
+	// Guard snapshots the overload-control layer (adaptive limit, latency
+	// baseline, open breakers); absent without -shed/-hedge.
+	Guard *hyperhet.GuardState `json:"guard,omitempty"`
 	// JournalReplay reports what the boot-time journal replay read and
 	// dropped (records folded, torn tails truncated, unknown schema
 	// versions and unreadable frames skipped); absent without -journal.
@@ -867,12 +906,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	scenes := len(s.scenes)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		SchedulerStats: s.sched.Stats(),
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		ScenesCached:   scenes,
 		JournalReplay:  s.replayStats,
-	})
+	}
+	if s.sched.Guard() != nil {
+		gs := s.sched.GuardState()
+		resp.Guard = &gs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -885,4 +929,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// setRetryAfter advertises the suggested client back-off for a denied
+// submission. Retry-After is integer seconds; sub-second hints round up
+// to 1 rather than down to an immediate (and certainly futile) retry.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	d, ok := hyperhet.RetryAfterHint(err)
+	if !ok {
+		return
+	}
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }

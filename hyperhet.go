@@ -26,6 +26,7 @@ import (
 	"io"
 	"log/slog"
 	"runtime"
+	"time"
 
 	"repro/internal/algo"
 	"repro/internal/checkpoint"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/flow"
+	"repro/internal/guard"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/platform"
@@ -326,7 +328,48 @@ var (
 	ErrQueueFull       = sched.ErrQueueFull
 	ErrSchedulerClosed = sched.ErrClosed
 	ErrUnknownJob      = sched.ErrUnknownJob
+	// ErrShed matches submissions denied by the overload-control layer
+	// (adaptive limit, rate smoothing, unaffordable deadline, or an open
+	// circuit breaker). Serve it as 429 with a Retry-After header.
+	ErrShed = sched.ErrShed
+	// ErrBreakerOpen matches the breaker subset of ErrShed: the job's
+	// backend, not the client's rate, is the problem. Serve it as 503.
+	ErrBreakerOpen = sched.ErrBreakerOpen
 )
+
+// Overload control: the guard layer between the HTTP front-end and the
+// scheduler. Construct one with NewGuard and pass it through
+// SchedulerConfig.Guard; submissions then flow through adaptive AIMD
+// admission, per-class token buckets, deadline-aware rejection and
+// per-backend circuit breaking, and long-running jobs may be hedged.
+type (
+	// GuardConfig parameterizes NewGuard.
+	GuardConfig = guard.Config
+	// GuardController is the overload controller; nil is a valid no-op.
+	GuardController = guard.Controller
+	// GuardState is a JSON-shaped snapshot of the controller.
+	GuardState = guard.State
+	// GuardBucketConfig is one class's token-bucket tuning.
+	GuardBucketConfig = guard.BucketConfig
+	// GuardHedgeConfig tunes straggler hedging.
+	GuardHedgeConfig = guard.HedgeConfig
+	// GuardBreakerConfig tunes the per-backend circuit breakers.
+	GuardBreakerConfig = guard.BreakerConfig
+	// GuardLimiterConfig tunes the AIMD concurrency limiter.
+	GuardLimiterConfig = guard.LimiterConfig
+	// ShedError is the concrete admission denial carrying the reason and
+	// the suggested client back-off; matches ErrShed (and ErrBreakerOpen
+	// for breaker denials) through errors.Is.
+	ShedError = sched.ShedError
+)
+
+// NewGuard builds an overload controller from cfg (zero value = defaults).
+func NewGuard(cfg GuardConfig) *GuardController { return guard.New(cfg) }
+
+// RetryAfterHint extracts the suggested client back-off from a scheduler
+// admission error: the guard's own hint for sheds, a default second for
+// queue-full and drain rejections, 0/false otherwise.
+func RetryAfterHint(err error) (time.Duration, bool) { return sched.RetryAfterHint(err) }
 
 // NewScheduler starts a job scheduler; Close it when done. Jobs are
 // submitted with Submit, awaited with Wait, observed with Stats.

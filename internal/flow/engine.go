@@ -977,9 +977,13 @@ func (p *Pipeline) runStage(st *stage) error {
 	return fmt.Errorf("flow: unknown stage kind %q", st.spec.Kind)
 }
 
-// submitJob submits a stage job, absorbing transient queue-full rejects
-// with capped exponential backoff: a wide fan-out must not fail just
-// because it momentarily outruns the scheduler's admission queue.
+// submitJob submits a stage job, absorbing transient queue-full and
+// overload-shed rejects with capped exponential backoff: a wide fan-out
+// must not fail just because it momentarily outruns the scheduler's
+// admission queue or trips the guard's rate/limit shedding. Shed waits
+// start from the guard's own Retry-After hint when it is shorter than
+// the cap — the guard knows when a slot frees better than a blind
+// doubling does.
 func (e *Engine) submitJob(ctx context.Context, spec sched.JobSpec) (*sched.Job, error) {
 	delay := 5 * time.Millisecond
 	const maxDelay = 250 * time.Millisecond
@@ -988,8 +992,11 @@ func (e *Engine) submitJob(ctx context.Context, spec sched.JobSpec) (*sched.Job,
 		if err == nil {
 			return job, nil
 		}
-		if !errors.Is(err, sched.ErrQueueFull) {
+		if !errors.Is(err, sched.ErrQueueFull) && !errors.Is(err, sched.ErrShed) {
 			return nil, err
+		}
+		if hint, ok := sched.RetryAfterHint(err); ok && hint > delay && hint <= maxDelay {
+			delay = hint
 		}
 		timer := time.NewTimer(delay)
 		select {

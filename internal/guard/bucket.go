@@ -1,0 +1,210 @@
+package guard
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket for burst smoothing: Capacity tokens,
+// refilled continuously at Rate tokens per second. An empty bucket
+// denies with the time until the next token, which becomes the
+// Retry-After hint.
+type Bucket struct {
+	mu       sync.Mutex
+	capacity float64
+	rate     float64 // tokens per second
+	tokens   float64
+	last     time.Time
+}
+
+// NewBucket returns a full bucket. Non-positive capacity or rate
+// disables the bucket: Take always succeeds.
+func NewBucket(capacity int, rate float64) *Bucket {
+	return &Bucket{capacity: float64(capacity), rate: rate, tokens: float64(capacity)}
+}
+
+// Take consumes one token, reporting success and, on denial, the wait
+// until one refills.
+func (b *Bucket) Take() (bool, time.Duration) { return b.takeAt(time.Now()) }
+
+func (b *Bucket) takeAt(now time.Time) (bool, time.Duration) {
+	if b == nil || b.capacity <= 0 || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// WaitEstimator prices the expected queue wait of a new submission, per
+// class. Each dispatch teaches it the observed per-position wait (the
+// job's time in queue divided by how many submissions sat ahead of it
+// when it was admitted), folded into an EWMA; the estimate for a new
+// submission is that per-slot cost times its own queue position. The
+// estimate self-calibrates to worker count, job mix and job size
+// without modelling any of them.
+type WaitEstimator struct {
+	mu      sync.Mutex
+	alpha   float64
+	perSlot []float64 // seconds per queue position, by class
+}
+
+// NewWaitEstimator returns an estimator over nClasses classes (alpha
+// 0.2 when non-positive).
+func NewWaitEstimator(nClasses int, alpha float64) *WaitEstimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &WaitEstimator{alpha: alpha, perSlot: make([]float64, nClasses)}
+}
+
+// Observe records one dispatched job: it waited `wait` with `ahead`
+// submissions in front of it at admission time.
+func (e *WaitEstimator) Observe(class Class, wait time.Duration, ahead int) {
+	if e == nil || wait < 0 {
+		return
+	}
+	if ahead < 1 {
+		ahead = 1
+	}
+	sample := wait.Seconds() / float64(ahead)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if int(class) < 0 || int(class) >= len(e.perSlot) {
+		return
+	}
+	if e.perSlot[class] == 0 {
+		e.perSlot[class] = sample
+		return
+	}
+	e.perSlot[class] += e.alpha * (sample - e.perSlot[class])
+}
+
+// Estimate prices a submission that would sit behind `ahead` queued
+// submissions of its class and above. Zero before the first observation
+// — an empty estimator never rejects.
+func (e *WaitEstimator) Estimate(class Class, ahead int) time.Duration {
+	if e == nil || ahead < 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if int(class) < 0 || int(class) >= len(e.perSlot) {
+		return 0
+	}
+	return time.Duration(e.perSlot[class] * float64(ahead+1) * float64(time.Second))
+}
+
+// Window is a fixed-size ring of recent latency samples per class, the
+// source of the p95 that triggers straggler hedging.
+type Window struct {
+	mu      sync.Mutex
+	size    int
+	samples [][]time.Duration // ring per class
+	next    []int
+	filled  []bool
+}
+
+// NewWindow returns a window of `size` samples per class (default 64).
+func NewWindow(nClasses, size int) *Window {
+	if size <= 0 {
+		size = 64
+	}
+	w := &Window{
+		size:    size,
+		samples: make([][]time.Duration, nClasses),
+		next:    make([]int, nClasses),
+		filled:  make([]bool, nClasses),
+	}
+	return w
+}
+
+// Observe records one execution latency.
+func (w *Window) Observe(class Class, d time.Duration) {
+	if w == nil || d < 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := int(class)
+	if c < 0 || c >= len(w.samples) {
+		return
+	}
+	if w.samples[c] == nil {
+		w.samples[c] = make([]time.Duration, 0, w.size)
+	}
+	if len(w.samples[c]) < w.size {
+		w.samples[c] = append(w.samples[c], d)
+		return
+	}
+	w.samples[c][w.next[c]] = d
+	w.next[c] = (w.next[c] + 1) % w.size
+	w.filled[c] = true
+}
+
+// Count returns the number of samples held for the class.
+func (w *Window) Count(class Class) int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := int(class)
+	if c < 0 || c >= len(w.samples) {
+		return 0
+	}
+	return len(w.samples[c])
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the class's window,
+// 0 when empty.
+func (w *Window) Quantile(class Class, q float64) time.Duration {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	c := int(class)
+	if c < 0 || c >= len(w.samples) || len(w.samples[c]) == 0 {
+		w.mu.Unlock()
+		return 0
+	}
+	buf := append([]time.Duration(nil), w.samples[c]...)
+	w.mu.Unlock()
+	// Insertion sort: windows are small (<= a few hundred samples).
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	if q <= 0 {
+		q = 0.95
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Ceiling rank: the smallest sample with at least q of the window at
+	// or below it, so a 4-sample p95 is the max, not the 3rd value.
+	idx := int(q*float64(len(buf))+0.9999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(buf) {
+		idx = len(buf) - 1
+	}
+	return buf[idx]
+}

@@ -1,0 +1,302 @@
+package guard
+
+import (
+	"time"
+)
+
+// BucketConfig parameterizes one class's token bucket; zero capacity or
+// rate disables rate smoothing for the class.
+type BucketConfig struct {
+	// Capacity is the burst size in submissions.
+	Capacity int
+	// Rate is the sustained refill in submissions per second.
+	Rate float64
+}
+
+// HedgeConfig parameterizes straggler hedging. The guard only supplies
+// the trigger delay; launching the hedge attempt and racing the two is
+// the scheduler's job.
+type HedgeConfig struct {
+	// Enabled turns hedging on.
+	Enabled bool
+	// Quantile is the class-latency quantile a running job must exceed
+	// to be hedged (default 0.95).
+	Quantile float64
+	// Delay, when positive, bypasses the quantile window entirely and
+	// hedges any job still running after the fixed delay (tests and the
+	// simulation harness use it).
+	Delay time.Duration
+	// MinSamples is the class window population required before the
+	// quantile is trusted (default 16); below it no hedging happens.
+	MinSamples int
+}
+
+func (h HedgeConfig) withDefaults() HedgeConfig {
+	if h.Quantile <= 0 || h.Quantile > 1 {
+		h.Quantile = 0.95
+	}
+	if h.MinSamples <= 0 {
+		h.MinSamples = 16
+	}
+	return h
+}
+
+// Config parameterizes a Controller. The zero value is NOT a valid
+// configuration — construct through New, which applies defaults.
+type Config struct {
+	// Classes is the scheduling-class count (default 2: batch=0,
+	// interactive=1). Higher classes shed later.
+	Classes int
+	// Limiter tunes the AIMD concurrency limiter.
+	Limiter LimiterConfig
+	// ClassFractions[i] is the fraction of the adaptive limit class i
+	// may fill; lower classes get smaller fractions so they shed first.
+	// Defaults: the top class 1.0, every lower class 0.75.
+	ClassFractions []float64
+	// Buckets[i] is class i's token bucket (missing or zero disables).
+	Buckets []BucketConfig
+	// Breaker tunes the per-backend circuit breakers.
+	Breaker BreakerConfig
+	// DisableBreaker turns circuit breaking off.
+	DisableBreaker bool
+	// Hedge tunes straggler hedging.
+	Hedge HedgeConfig
+	// WindowSize is the per-class latency window population (default 64).
+	WindowSize int
+	// EstimatorAlpha is the queue-wait EWMA weight (default 0.2).
+	EstimatorAlpha float64
+}
+
+// Request is one admission question.
+type Request struct {
+	// Class is the submission's scheduling class.
+	Class Class
+	// BackendKey names the (network, fault-profile) backend; "" skips
+	// the breaker.
+	BackendKey string
+	// Timeout is the job's deadline budget (0 = none).
+	Timeout time.Duration
+	// QueuedAhead counts the submissions queued at the submission's
+	// class and above — its queue position if admitted.
+	QueuedAhead int
+	// InFlight counts queued plus running work across all classes.
+	InFlight int
+}
+
+// Outcome classifies a finished job for the breaker.
+type Outcome int
+
+const (
+	// OutcomeNeutral records nothing against the backend (cancellation,
+	// malformed spec, cache hit).
+	OutcomeNeutral Outcome = iota
+	// OutcomeBackendOK records backend health.
+	OutcomeBackendOK
+	// OutcomeBackendFailure records a qualifying backend failure (rank
+	// death or its cascade).
+	OutcomeBackendFailure
+)
+
+// Controller composes the guard mechanisms behind one Admit/Observe
+// API. All methods are safe for concurrent use; a nil *Controller is a
+// valid no-op that admits everything and never hedges.
+type Controller struct {
+	cfg       Config
+	limiter   *Limiter
+	buckets   []*Bucket
+	breakers  *BreakerSet
+	estimator *WaitEstimator
+	window    *Window
+}
+
+// New builds a controller.
+func New(cfg Config) *Controller {
+	if cfg.Classes <= 0 {
+		cfg.Classes = 2
+	}
+	fr := make([]float64, cfg.Classes)
+	for i := range fr {
+		fr[i] = 0.75
+		if i == cfg.Classes-1 {
+			fr[i] = 1.0
+		}
+		if i < len(cfg.ClassFractions) && cfg.ClassFractions[i] > 0 && cfg.ClassFractions[i] <= 1 {
+			fr[i] = cfg.ClassFractions[i]
+		}
+	}
+	cfg.ClassFractions = fr
+	cfg.Hedge = cfg.Hedge.withDefaults()
+	c := &Controller{
+		cfg:       cfg,
+		limiter:   NewLimiter(cfg.Limiter),
+		estimator: NewWaitEstimator(cfg.Classes, cfg.EstimatorAlpha),
+		window:    NewWindow(cfg.Classes, cfg.WindowSize),
+	}
+	c.buckets = make([]*Bucket, cfg.Classes)
+	for i := range c.buckets {
+		if i < len(cfg.Buckets) {
+			c.buckets[i] = NewBucket(cfg.Buckets[i].Capacity, cfg.Buckets[i].Rate)
+		}
+	}
+	if !cfg.DisableBreaker {
+		c.breakers = NewBreakerSet(cfg.Breaker)
+	}
+	return c
+}
+
+// Admit runs the full admission pipeline, in shed order:
+//
+//  1. breaker — an open backend fails fast (503-shaped), a half-open
+//     one grants its single probe, which then bypasses the shed checks
+//     (a probe that could be shed would never resolve the breaker);
+//  2. AIMD limit — the class's fraction of the adaptive limit against
+//     current in-flight work, so lower classes shed first;
+//  3. token bucket — the class's burst budget;
+//  4. deadline — the estimated queue wait against the job's timeout,
+//     so work that would expire unserved is rejected at the door.
+func (c *Controller) Admit(req Request) Verdict {
+	if c == nil {
+		return Verdict{Allow: true}
+	}
+	if c.breakers != nil && req.BackendKey != "" {
+		v := c.breakers.Allow(req.BackendKey)
+		if !v.Allow {
+			return v
+		}
+		if v.Probe {
+			return v
+		}
+	}
+	cl := int(req.Class)
+	if cl < 0 {
+		cl = 0
+	}
+	if cl >= c.cfg.Classes {
+		cl = c.cfg.Classes - 1
+	}
+	limit := int(float64(c.limiter.Limit()) * c.cfg.ClassFractions[cl])
+	if limit < 1 {
+		limit = 1
+	}
+	if req.InFlight >= limit {
+		return Verdict{Reason: ReasonLimit, RetryAfter: c.slotRetry()}
+	}
+	if ok, wait := c.buckets[cl].Take(); !ok {
+		return Verdict{Reason: ReasonRate, RetryAfter: wait}
+	}
+	if req.Timeout > 0 {
+		if est := c.estimator.Estimate(req.Class, req.QueuedAhead); est > req.Timeout {
+			return Verdict{Reason: ReasonDeadline, RetryAfter: est - req.Timeout}
+		}
+	}
+	return Verdict{Allow: true}
+}
+
+// slotRetry estimates how long until an in-flight slot frees: the
+// latency baseline when known, 1s otherwise.
+func (c *Controller) slotRetry() time.Duration {
+	if b := c.limiter.Baseline(); b > 0 {
+		return time.Duration(b * float64(time.Second))
+	}
+	return time.Second
+}
+
+// ObserveDispatch teaches the wait estimator one dispatched job: it
+// waited `wait` in queue with `ahead` submissions in front of it at
+// admission.
+func (c *Controller) ObserveDispatch(class Class, wait time.Duration, ahead int) {
+	if c == nil {
+		return
+	}
+	c.estimator.Observe(class, wait, ahead)
+}
+
+// ObserveDone feeds one settled job back: total submit-to-settle
+// latency (the limiter's signal), pure execution latency (the hedge
+// window's signal), success, backend outcome and whether the job was a
+// half-open probe.
+func (c *Controller) ObserveDone(class Class, key string, latency, exec time.Duration, ok bool, outcome Outcome, probe bool) {
+	if c == nil {
+		return
+	}
+	c.limiter.Observe(latency, ok)
+	if ok && exec > 0 {
+		c.window.Observe(class, exec)
+	}
+	if c.breakers != nil && outcome != OutcomeNeutral {
+		c.breakers.Record(key, outcome == OutcomeBackendOK, probe)
+	}
+}
+
+// ReleaseProbe hands a granted probe slot back without an outcome — the
+// probe job was never executed (cancelled while queued, cache-served).
+// Without this the half-open breaker would wait forever on a probe that
+// will never report.
+func (c *Controller) ReleaseProbe(key string) {
+	if c == nil || c.breakers == nil {
+		return
+	}
+	c.breakers.Record(key, false, true)
+}
+
+// HedgeDelay returns how long a class's job may run before a hedge
+// attempt launches; 0 disables hedging for the job. A fixed
+// HedgeConfig.Delay wins; otherwise the class window's quantile, once
+// populated past MinSamples.
+func (c *Controller) HedgeDelay(class Class) time.Duration {
+	if c == nil || !c.cfg.Hedge.Enabled {
+		return 0
+	}
+	if c.cfg.Hedge.Delay > 0 {
+		return c.cfg.Hedge.Delay
+	}
+	if c.window.Count(class) < c.cfg.Hedge.MinSamples {
+		return 0
+	}
+	return c.window.Quantile(class, c.cfg.Hedge.Quantile)
+}
+
+// HedgeEnabled reports whether hedging is configured at all.
+func (c *Controller) HedgeEnabled() bool {
+	return c != nil && c.cfg.Hedge.Enabled
+}
+
+// State is a JSON-shaped snapshot of the controller for /stats and
+// /readyz.
+type State struct {
+	// Limit is the current AIMD admission limit.
+	Limit int `json:"limit"`
+	// BaselineMS is the moving latency baseline in milliseconds.
+	BaselineMS float64 `json:"baseline_ms"`
+	// HedgeEnabled reports whether straggler hedging is on.
+	HedgeEnabled bool `json:"hedge_enabled,omitempty"`
+	// BreakersOpen counts backends currently rejecting.
+	BreakersOpen int `json:"breakers_open"`
+	// BreakerTrips counts lifetime closed-to-open transitions.
+	BreakerTrips uint64 `json:"breaker_trips"`
+	// Breakers lists every non-closed (or failure-accumulating) breaker.
+	Breakers []BreakerStatus `json:"breakers,omitempty"`
+}
+
+// State snapshots the controller.
+func (c *Controller) State() State {
+	if c == nil {
+		return State{}
+	}
+	return State{
+		Limit:        c.limiter.Limit(),
+		BaselineMS:   c.limiter.Baseline() * 1000,
+		HedgeEnabled: c.cfg.Hedge.Enabled,
+		BreakersOpen: c.breakers.OpenCount(),
+		BreakerTrips: c.breakers.Trips(),
+		Breakers:     c.breakers.Snapshot(),
+	}
+}
+
+// OpenBreakers reports how many backends are currently rejecting.
+func (c *Controller) OpenBreakers() int {
+	if c == nil {
+		return 0
+	}
+	return c.breakers.OpenCount()
+}

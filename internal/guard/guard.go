@@ -1,0 +1,204 @@
+// Package guard is the scheduler's overload-control layer: the
+// admission-time and dispatch-time defenses that keep a saturated
+// serving stack doing useful work instead of queueing doomed jobs.
+//
+// It bundles five cooperating mechanisms, each usable on its own and all
+// pure control logic (no scheduler imports, no I/O):
+//
+//   - an AIMD adaptive concurrency limiter (Limiter) that grows the
+//     effective admission limit by one slot per limit's worth of
+//     on-baseline completions and shrinks it multiplicatively when
+//     observed job latency exceeds a moving baseline;
+//   - per-class token buckets (Bucket) for burst smoothing, so a submit
+//     storm is clipped to a sustainable rate instead of filling the
+//     queue with work that will expire unserved;
+//   - a per-class queue-wait estimator (WaitEstimator) that prices a
+//     submission's expected time-in-queue, so deadline-carrying jobs
+//     whose timeout is already unaffordable are rejected at the door;
+//   - a per-backend circuit breaker set (BreakerSet) with the classic
+//     closed / open / half-open state machine and probe admissions, so
+//     a configuration that keeps killing ranks fails fast instead of
+//     consuming workers;
+//   - a per-class latency quantile window (Window) whose p95 drives
+//     straggler hedging in the scheduler.
+//
+// Controller composes them behind one Admit/Observe API shaped for
+// package sched. Every decision is reported as a Verdict carrying the
+// deny reason and a Retry-After hint, which the HTTP layer translates
+// to 429 (shed) or 503 (breaker open) responses.
+package guard
+
+import (
+	"sync"
+	"time"
+)
+
+// Class is a scheduling class index. The guard is class-count agnostic;
+// package sched passes its Priority values (0 = batch, 1 = interactive).
+// Higher classes shed later and dispatch first.
+type Class int
+
+// Reason classifies a denial.
+type Reason string
+
+const (
+	// ReasonLimit reports the AIMD concurrency limit was reached (for
+	// the submission's class: lower classes shed at a fraction of it).
+	ReasonLimit Reason = "limit"
+	// ReasonRate reports the class's token bucket was empty.
+	ReasonRate Reason = "rate"
+	// ReasonDeadline reports the estimated queue wait already exceeded
+	// the submission's timeout: the job would expire unserved.
+	ReasonDeadline Reason = "deadline"
+	// ReasonBreakerOpen reports the submission's backend breaker is open
+	// (or half-open with its probe slot taken).
+	ReasonBreakerOpen Reason = "breaker-open"
+)
+
+// Verdict is one admission decision.
+type Verdict struct {
+	// Allow grants admission.
+	Allow bool
+	// Probe marks an admission granted as a half-open breaker's probe:
+	// the job's outcome decides whether the breaker closes or re-opens.
+	Probe bool
+	// Reason classifies a denial ("" when allowed).
+	Reason Reason
+	// RetryAfter is the suggested client back-off on denial.
+	RetryAfter time.Duration
+}
+
+// LimiterConfig parameterizes the AIMD limiter. Zero values select the
+// documented defaults.
+type LimiterConfig struct {
+	// Initial is the starting admission limit (default 16).
+	Initial int
+	// Min and Max clamp the adaptive limit (defaults 1 and 1024).
+	Min, Max int
+	// Tolerance is the latency-to-baseline ratio above which a
+	// completion is an overload signal (default 2.0).
+	Tolerance float64
+	// DecreaseFactor is the multiplicative shrink on an overload signal
+	// (default 0.7).
+	DecreaseFactor float64
+	// BaselineAlpha is the EWMA weight of a fresh on-baseline latency
+	// sample (default 0.1).
+	BaselineAlpha float64
+	// Cooldown bounds how often the limit may shrink, so one burst of
+	// slow completions costs one decrease, not one per completion
+	// (default 1s; tests shorten it).
+	Cooldown time.Duration
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.Initial <= 0 {
+		c.Initial = 16
+	}
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 1024
+	}
+	if c.Min > c.Max {
+		c.Min = c.Max
+	}
+	if c.Initial < c.Min {
+		c.Initial = c.Min
+	}
+	if c.Initial > c.Max {
+		c.Initial = c.Max
+	}
+	if c.Tolerance <= 1 {
+		c.Tolerance = 2.0
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = 0.7
+	}
+	if c.BaselineAlpha <= 0 || c.BaselineAlpha > 1 {
+		c.BaselineAlpha = 0.1
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	return c
+}
+
+// Limiter is an AIMD adaptive concurrency limiter: the effective
+// admission limit for (queued + running) work, adapted from observed
+// job latency against a moving baseline.
+//
+// Additive increase: every on-baseline completion adds 1/limit slots,
+// so the limit grows by one slot per limit's worth of healthy
+// completions (one "RTT" in TCP terms). Multiplicative decrease: a
+// completion whose latency exceeds baseline*Tolerance shrinks the limit
+// by DecreaseFactor, at most once per Cooldown. The baseline is an EWMA
+// of on-baseline latencies only, so a slow spell widens the limit's
+// definition of "slow" no faster than BaselineAlpha allows.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu       sync.Mutex
+	limit    float64
+	baseline float64 // seconds; 0 until the first sample
+	lastDec  time.Time
+}
+
+// NewLimiter returns a limiter at cfg.Initial.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{cfg: cfg, limit: float64(cfg.Initial)}
+}
+
+// Limit returns the current admission limit, floored at cfg.Min.
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.limit)
+}
+
+// Baseline returns the moving latency baseline in seconds (0 before the
+// first on-baseline completion).
+func (l *Limiter) Baseline() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.baseline
+}
+
+// Observe feeds one job completion into the controller: its
+// submit-to-settle latency and whether it completed successfully.
+// Failures are not latency signals (a fault-injected crash is fast) and
+// leave the limit untouched.
+func (l *Limiter) Observe(latency time.Duration, ok bool) {
+	l.observeAt(time.Now(), latency, ok)
+}
+
+func (l *Limiter) observeAt(now time.Time, latency time.Duration, ok bool) {
+	if !ok || latency < 0 {
+		return
+	}
+	sec := latency.Seconds()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.baseline == 0 {
+		l.baseline = sec
+		return
+	}
+	if sec > l.baseline*l.cfg.Tolerance {
+		// Overload signal: multiplicative decrease, rate-limited.
+		if now.Sub(l.lastDec) >= l.cfg.Cooldown {
+			l.limit *= l.cfg.DecreaseFactor
+			if l.limit < float64(l.cfg.Min) {
+				l.limit = float64(l.cfg.Min)
+			}
+			l.lastDec = now
+		}
+		return
+	}
+	// On-baseline completion: additive increase plus baseline tracking.
+	l.baseline += l.cfg.BaselineAlpha * (sec - l.baseline)
+	l.limit += 1 / l.limit
+	if l.limit > float64(l.cfg.Max) {
+		l.limit = float64(l.cfg.Max)
+	}
+}

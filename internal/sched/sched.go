@@ -33,6 +33,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cube"
+	"repro/internal/guard"
 	"repro/internal/mpi"
 	"repro/internal/par"
 	"repro/internal/platform"
@@ -253,6 +254,16 @@ type Job struct {
 	seed *checkpoint.Snapshot
 	ckpt checkpoint.Checkpointer
 
+	// Guard bookkeeping, set once at admission: the circuit-breaker key,
+	// whether this admission is a half-open breaker's probe, the queue
+	// population ahead of the job when it was admitted (the wait
+	// estimator's teaching signal), and the wall-clock deadline (zero
+	// when the job has none).
+	backendKey  string
+	probe       bool
+	queuedAhead int
+	deadline    time.Time
+
 	mu          sync.Mutex
 	state       State
 	submittedAt time.Time
@@ -262,6 +273,8 @@ type Job struct {
 	adaptive    *core.AdaptiveReport
 	err         error
 	fromCache   bool
+	hedged      bool
+	hedgeWon    bool
 	attempts    []AttemptRecord
 }
 
@@ -373,6 +386,18 @@ type JobStatus struct {
 	Attempts int `json:"attempts,omitempty"`
 	// AttemptHistory details each attempt (omitted for cache hits).
 	AttemptHistory []AttemptRecord `json:"attempt_history,omitempty"`
+	// QueueMS is the time the job spent queued before dispatch — for a
+	// still-queued job, its wait so far. It makes expiry and shed
+	// decisions auditable from the job document alone.
+	QueueMS int64 `json:"queue_ms"`
+	// DeadlineRemainingMS is the budget left on the job's deadline at
+	// snapshot time (negative once passed; frozen at settlement for
+	// finished jobs). Omitted for jobs without a deadline.
+	DeadlineRemainingMS *int64 `json:"deadline_remaining_ms,omitempty"`
+	// Hedged reports a straggler hedge attempt was launched; HedgeWon
+	// that the hedge finished first.
+	Hedged   bool `json:"hedged,omitempty"`
+	HedgeWon bool `json:"hedge_won,omitempty"`
 }
 
 // Status snapshots the job.
@@ -404,6 +429,26 @@ func (j *Job) Status() JobStatus {
 	}
 	st.Attempts = len(j.attempts)
 	st.AttemptHistory = append([]AttemptRecord(nil), j.attempts...)
+	st.Hedged = j.hedged
+	st.HedgeWon = j.hedgeWon
+	now := time.Now()
+	switch {
+	case !j.startedAt.IsZero():
+		st.QueueMS = j.startedAt.Sub(j.submittedAt).Milliseconds()
+	case !j.finishedAt.IsZero():
+		// Settled without running (cancelled or expired in queue).
+		st.QueueMS = j.finishedAt.Sub(j.submittedAt).Milliseconds()
+	default:
+		st.QueueMS = now.Sub(j.submittedAt).Milliseconds()
+	}
+	if !j.deadline.IsZero() {
+		ref := now
+		if !j.finishedAt.IsZero() {
+			ref = j.finishedAt
+		}
+		rem := j.deadline.Sub(ref).Milliseconds()
+		st.DeadlineRemainingMS = &rem
+	}
 	return st
 }
 
@@ -444,6 +489,14 @@ type Config struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps the exponential backoff (default 2s).
 	RetryMaxDelay time.Duration
+	// Guard, when non-nil, is the overload-control layer: every fresh
+	// submission passes its admission pipeline (adaptive AIMD limit with
+	// batch-first shedding, per-class token buckets, deadline-aware
+	// rejection, per-backend circuit breaking), denials surface as
+	// *ShedError, and when its hedging is enabled, running jobs that
+	// exceed their class's p95 race one hedge attempt. Journal-resumed
+	// jobs bypass admission — they were admitted by a previous process.
+	Guard *guard.Controller
 	// Registry, when non-nil, registers the scheduler's instruments (and
 	// the simulation-level ones of package core) against it: queue depth,
 	// admission rejects, retries, cache hit/miss, per-class job latency
@@ -507,6 +560,18 @@ type Stats struct {
 	Retries   uint64 `json:"retries"`
 	CacheHits uint64 `json:"cache_hits"`
 	CacheMiss uint64 `json:"cache_misses"`
+	// Overload-control counters (all zero when Config.Guard is nil).
+	// Shed and BreakerRejects partition the guard's share of Rejected:
+	// Rejected == queue-full/closed rejections + Shed + BreakerRejects.
+	Shed           uint64 `json:"shed"`
+	BreakerRejects uint64 `json:"breaker_rejects"`
+	// Expired counts queued jobs settled because their deadline passed
+	// before dispatch — dead work never handed to a worker.
+	Expired uint64 `json:"expired"`
+	// Hedges counts straggler hedge attempts launched; HedgeWins those
+	// that finished before their primary.
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
 	// VirtualSeconds accumulates the simulated wall time of every
 	// completed (non-cached) run.
 	VirtualSeconds float64 `json:"virtual_seconds"`
@@ -540,6 +605,9 @@ type Scheduler struct {
 		completed, failed, cancelled uint64
 		retries                      uint64
 		cacheHits, cacheMisses       uint64
+		shed, breakerRejects         uint64
+		expired                      uint64
+		hedges, hedgeWins            uint64
 		virtualSeconds               float64
 	}
 	rng *rand.Rand // backoff jitter; guarded by mu
@@ -610,6 +678,33 @@ func (s *Scheduler) admit(ctx context.Context, spec JobSpec, key, id string, see
 		s.tel.rejectedInc()
 		return nil, ErrQueueFull
 	}
+	timeout := spec.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	// Overload control. Resumed jobs bypass it: a previous process
+	// already admitted them, and refusing the replay would lose work the
+	// journal promised to finish.
+	var probe bool
+	var queuedAhead int
+	backendKey := ""
+	if g := s.cfg.Guard; g != nil && !resumed {
+		backendKey = spec.backendKey()
+		queuedAhead = s.queuedAtOrAboveLocked(spec.Priority)
+		v := g.Admit(guard.Request{
+			Class:       guard.Class(spec.Priority),
+			BackendKey:  backendKey,
+			Timeout:     timeout,
+			QueuedAhead: queuedAhead,
+			InFlight:    s.queuedLocked() + s.running,
+		})
+		if !v.Allow {
+			s.mu.Unlock()
+			s.noteShed(v.Reason)
+			return nil, &ShedError{Reason: v.Reason, RetryAfter: v.RetryAfter}
+		}
+		probe = v.Probe
+	}
 	if resumed {
 		if _, ok := s.jobs[id]; ok {
 			s.mu.Unlock()
@@ -619,10 +714,6 @@ func (s *Scheduler) admit(ctx context.Context, spec JobSpec, key, id string, see
 	} else {
 		s.nextID++
 		id = fmt.Sprintf("job-%d", s.nextID)
-	}
-	timeout := spec.Timeout
-	if timeout == 0 {
-		timeout = s.cfg.DefaultTimeout
 	}
 	jctx, jcancel := context.WithCancel(ctx)
 	if timeout > 0 {
@@ -638,6 +729,12 @@ func (s *Scheduler) admit(ctx context.Context, spec JobSpec, key, id string, see
 		state:       StateQueued,
 		submittedAt: time.Now(),
 		seed:        seed,
+		backendKey:  backendKey,
+		probe:       probe,
+		queuedAhead: queuedAhead,
+	}
+	if dl, ok := jctx.Deadline(); ok {
+		j.deadline = dl
 	}
 	s.jobs[j.id] = j
 	s.queues[spec.Priority] = append(s.queues[spec.Priority], j)
@@ -757,6 +854,16 @@ func (s *Scheduler) queuedLocked() int {
 	return n
 }
 
+// queuedAtOrAboveLocked returns the queue population that would dispatch
+// before a fresh submission of class p — its queue position.
+func (s *Scheduler) queuedAtOrAboveLocked(p Priority) int {
+	n := 0
+	for q := int(p); q < int(numPriorities); q++ {
+		n += len(s.queues[q])
+	}
+	return n
+}
+
 // evictFinishedLocked trims the finished-job history to RetainJobs.
 func (s *Scheduler) evictFinishedLocked() {
 	for len(s.finished) > s.cfg.RetainJobs {
@@ -765,15 +872,29 @@ func (s *Scheduler) evictFinishedLocked() {
 	}
 }
 
-// watchQueued cancels a job out of the queue when its context dies first.
+// watchQueued cancels a job out of the queue when its context dies
+// first. Deadline expiry while queued is counted separately from plain
+// cancellation: the lazy-expiry path is how dead work leaves the queue
+// without ever touching a worker.
 func (s *Scheduler) watchQueued(j *Job) {
 	select {
 	case <-j.ctx.Done():
 		if s.dequeue(j) {
-			s.finish(j, StateCancelled, cachedResult{}, fmt.Errorf("sched: job %s cancelled while queued: %w", j.id, context.Cause(j.ctx)), false)
+			s.finish(j, StateCancelled, cachedResult{}, s.queuedDeathErr(j), false)
 		}
 	case <-j.done:
 	}
+}
+
+// queuedDeathErr builds the terminal error of a job whose context died
+// while it was still queued, counting deadline expiries as such.
+func (s *Scheduler) queuedDeathErr(j *Job) error {
+	cause := context.Cause(j.ctx)
+	if errors.Is(cause, context.DeadlineExceeded) {
+		s.noteExpired()
+		return fmt.Errorf("sched: job %s expired while queued (deadline passed before dispatch): %w", j.id, cause)
+	}
+	return fmt.Errorf("sched: job %s cancelled while queued: %w", j.id, cause)
 }
 
 // dequeue removes a still-queued job, reporting whether it was present.
@@ -878,6 +999,11 @@ func (s *Scheduler) Stats() Stats {
 		Retries:        s.ctr.retries,
 		CacheHits:      s.ctr.cacheHits,
 		CacheMiss:      s.ctr.cacheMisses,
+		Shed:           s.ctr.shed,
+		BreakerRejects: s.ctr.breakerRejects,
+		Expired:        s.ctr.expired,
+		Hedges:         s.ctr.hedges,
+		HedgeWins:      s.ctr.hedgeWins,
 		VirtualSeconds: s.ctr.virtualSeconds,
 		CacheEntries:   s.cache.len(),
 	}
@@ -979,9 +1105,10 @@ func (s *Scheduler) next() *Job {
 func (s *Scheduler) runJob(j *Job) {
 	// Cancelled (or deadline-expired) between submission and dispatch:
 	// settle without consuming the worker slot. The queue watcher
-	// usually wins this race; this is the fallback.
-	if err := j.ctx.Err(); err != nil {
-		s.finish(j, StateCancelled, cachedResult{}, fmt.Errorf("sched: job %s cancelled while queued: %w", j.id, err), false)
+	// usually wins this race; this is the fallback, and it upholds the
+	// same invariant — an expired job is never dispatched.
+	if j.ctx.Err() != nil {
+		s.finish(j, StateCancelled, cachedResult{}, s.queuedDeathErr(j), false)
 		return
 	}
 
@@ -1000,10 +1127,12 @@ func (s *Scheduler) runJob(j *Job) {
 		s.tel.cacheResult("miss")
 	}
 
+	started := time.Now()
 	j.mu.Lock()
 	j.state = StateRunning
-	j.startedAt = time.Now()
+	j.startedAt = started
 	j.mu.Unlock()
+	s.cfg.Guard.ObserveDispatch(guard.Class(j.spec.Priority), started.Sub(j.submittedAt), j.queuedAhead)
 	s.mu.Lock()
 	s.running++
 	hook := s.testHookRunning
@@ -1041,7 +1170,7 @@ func (s *Scheduler) runJob(j *Job) {
 		if !j.spec.NoJournal {
 			s.journalAppend(Record{Type: recStarted, Job: j.id, Attempt: attempt})
 		}
-		res, err = s.execute(j, attempt)
+		res, err = s.executeAttempt(j, attempt)
 		rec := AttemptRecord{
 			Attempt:  attempt,
 			Started:  started,
@@ -1088,10 +1217,73 @@ func (s *Scheduler) runJob(j *Job) {
 	}
 }
 
-// execute runs one attempt of the job. The attempt number is threaded to
-// the fault plan through Params.FaultAttempt, so an injected crash pinned
-// to attempt 1 spares the retry — the transient-failure model.
-func (s *Scheduler) execute(j *Job, attempt int) (cachedResult, error) {
+// executeAttempt runs one attempt of the job, hedged when the guard's
+// straggler policy asks for it. Checkpointed jobs never hedge: both
+// racers would write rounds to one shared store, and the resume state
+// would depend on the race.
+func (s *Scheduler) executeAttempt(j *Job, attempt int) (cachedResult, error) {
+	if g := s.cfg.Guard; g.HedgeEnabled() && j.ckpt == nil {
+		if delay := g.HedgeDelay(guard.Class(j.spec.Priority)); delay > 0 {
+			return s.executeHedged(j, attempt, delay)
+		}
+	}
+	return s.execute(j.ctx, j, attempt)
+}
+
+// executeHedged runs one attempt with straggler hedging: the primary
+// runs immediately, and if it is still going after delay (the class's
+// p95, or the configured fixed delay), one hedge launches and the first
+// finisher wins. Taking either result is safe because runs are
+// byte-deterministic in (spec, attempt) — both racers see the same fault
+// plan and compute identical bytes; hedging can only change latency,
+// never results. The loser is cancelled AND awaited before returning, so
+// the attempt leaves no goroutine behind (clean under -race, and the
+// close/drain accounting stays exact).
+func (s *Scheduler) executeHedged(j *Job, attempt int, delay time.Duration) (cachedResult, error) {
+	type outcome struct {
+		res   cachedResult
+		err   error
+		hedge bool
+	}
+	results := make(chan outcome, 2) // both racers always complete their send
+	pctx, pcancel := context.WithCancel(j.ctx)
+	defer pcancel()
+	go func() {
+		r, e := s.execute(pctx, j, attempt)
+		results <- outcome{r, e, false}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var first outcome
+	select {
+	case first = <-results:
+		// On-time primary: no hedge needed.
+		return first.res, first.err
+	case <-timer.C:
+	}
+	hctx, hcancel := context.WithCancel(j.ctx)
+	defer hcancel()
+	s.noteHedge(j)
+	go func() {
+		r, e := s.execute(hctx, j, attempt)
+		results <- outcome{r, e, true}
+	}()
+	first = <-results
+	pcancel()
+	hcancel()
+	<-results // await the loser: leak-free by construction
+	if first.hedge {
+		s.noteHedgeWin(j)
+	}
+	return first.res, first.err
+}
+
+// execute runs one attempt of the job on ctx (the job's own context, or
+// a racer's child of it under hedging). The attempt number is threaded
+// to the fault plan through Params.FaultAttempt, so an injected crash
+// pinned to attempt 1 spares the retry — the transient-failure model —
+// and both hedge racers of one attempt see an identical world.
+func (s *Scheduler) execute(ctx context.Context, j *Job, attempt int) (cachedResult, error) {
 	var res cachedResult
 	var err error
 	spec := &j.spec
@@ -1100,7 +1292,7 @@ func (s *Scheduler) execute(j *Job, attempt int) (cachedResult, error) {
 	// The simulation instruments ride the context, not Params: Params is
 	// part of the cache key and must stay a pure value. The checkpoint
 	// store travels the same way, for the same reason.
-	ctx := core.WithMetrics(j.ctx, s.tel.coreMetrics())
+	ctx = core.WithMetrics(ctx, s.tel.coreMetrics())
 	if j.ckpt != nil {
 		ctx = core.WithCheckpointer(ctx, j.ckpt)
 	}
@@ -1156,7 +1348,37 @@ func (s *Scheduler) finish(j *Job, state State, res cachedResult, err error, fro
 	j.fromCache = fromCache
 	j.finishedAt = time.Now()
 	latency := j.finishedAt.Sub(j.submittedAt)
+	var exec time.Duration
+	if !j.startedAt.IsZero() {
+		exec = j.finishedAt.Sub(j.startedAt)
+	}
 	j.mu.Unlock()
+
+	if g := s.cfg.Guard; g != nil {
+		// Classify the settlement for the breaker: only real backend
+		// verdicts count. Cancellations, expiries, cache hits and
+		// non-backend failures are neutral — they say nothing about the
+		// (network, fault-profile) backend's health. This feedback lands
+		// BEFORE close(done): a waiter resubmitting the moment the job
+		// settles must see the breaker already told.
+		outcome := guard.OutcomeNeutral
+		switch {
+		case state == StateCompleted && !fromCache:
+			outcome = guard.OutcomeBackendOK
+		case state == StateFailed && (errors.Is(err, mpi.ErrRankFailed) || errors.Is(err, mpi.ErrCascade)):
+			outcome = guard.OutcomeBackendFailure
+		}
+		if j.probe && outcome == guard.OutcomeNeutral {
+			// The probe never reached its backend; free the slot so the
+			// half-open breaker can try another.
+			g.ReleaseProbe(j.backendKey)
+		}
+		if !fromCache {
+			g.ObserveDone(guard.Class(j.spec.Priority), j.backendKey, latency, exec,
+				state == StateCompleted, outcome, j.probe)
+		}
+	}
+
 	j.cancel() // release the context's timer resources
 	close(j.done)
 	s.tel.jobFinished(state, j.spec.Priority, latency)

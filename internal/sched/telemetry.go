@@ -21,6 +21,10 @@ type schedMetrics struct {
 	journal   *telemetry.CounterVec   // type: submitted | started | checkpointed | finished
 	journalEr *telemetry.Counter
 	restored  *telemetry.CounterVec // disposition: finished | resumed
+	shed      *telemetry.CounterVec // reason: limit | rate | deadline | breaker-open
+	expired   *telemetry.Counter
+	hedges    *telemetry.Counter
+	hedgeWins *telemetry.Counter
 
 	// core carries the simulation-level instruments; execute attaches it
 	// to each job's context.
@@ -58,6 +62,23 @@ func newSchedMetrics(s *Scheduler, reg *telemetry.Registry) *schedMetrics {
 		func() float64 {
 			return float64(par.Snapshot().Chunks)
 		})
+	// Guard gauges read the controller live; with no guard configured
+	// they report zero rather than being absent, so dashboards and the
+	// telemetry lint see a stable name set either way.
+	reg.NewGaugeFunc("hyperhet_guard_admission_limit",
+		"Current AIMD adaptive admission limit (0 when the guard is off).", func() float64 {
+			return float64(s.cfg.Guard.State().Limit)
+		})
+	reg.NewGaugeFunc("hyperhet_guard_breakers_open",
+		"Backend circuit breakers currently rejecting (open, or half-open with the probe taken).",
+		func() float64 {
+			return float64(s.cfg.Guard.OpenBreakers())
+		})
+	reg.NewCounterFunc("hyperhet_guard_breaker_trips_total",
+		"Lifetime closed-to-open circuit breaker transitions across all backends.",
+		func() float64 {
+			return float64(s.cfg.Guard.State().BreakerTrips)
+		})
 	return &schedMetrics{
 		submitted: reg.NewCounter("hyperhet_sched_submitted_total",
 			"Jobs admitted to the queue."),
@@ -78,6 +99,14 @@ func newSchedMetrics(s *Scheduler, reg *telemetry.Registry) *schedMetrics {
 			"Job-journal append failures (the job proceeds; durability degrades)."),
 		restored: reg.NewCounterVec("hyperhet_sched_jobs_restored_total",
 			"Jobs rebuilt from a replayed journal, by disposition.", "disposition"),
+		shed: reg.NewCounterVec("hyperhet_guard_shed_total",
+			"Submissions denied by the overload-control layer, by reason.", "reason"),
+		expired: reg.NewCounter("hyperhet_guard_expired_total",
+			"Queued jobs settled because their deadline passed before dispatch."),
+		hedges: reg.NewCounter("hyperhet_guard_hedges_total",
+			"Straggler hedge attempts launched."),
+		hedgeWins: reg.NewCounter("hyperhet_guard_hedge_wins_total",
+			"Hedge attempts that finished before their primary."),
 		core: core.NewMetrics(reg),
 	}
 }
@@ -122,6 +151,34 @@ func (m *schedMetrics) restoredInc(disposition string) {
 		return
 	}
 	m.restored.With(disposition).Inc()
+}
+
+func (m *schedMetrics) shedInc(reason string) {
+	if m == nil {
+		return
+	}
+	m.shed.With(reason).Inc()
+}
+
+func (m *schedMetrics) expiredInc() {
+	if m == nil {
+		return
+	}
+	m.expired.Inc()
+}
+
+func (m *schedMetrics) hedgeInc() {
+	if m == nil {
+		return
+	}
+	m.hedges.Inc()
+}
+
+func (m *schedMetrics) hedgeWinInc() {
+	if m == nil {
+		return
+	}
+	m.hedgeWins.Inc()
 }
 
 func (m *schedMetrics) cacheResult(outcome string) {

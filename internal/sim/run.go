@@ -280,13 +280,17 @@ func tear(dir string, cp *CrashPoint) error {
 	return nil
 }
 
-// submitJobRetry absorbs ErrQueueFull with a bounded retry: scenario
-// queue depths are drawn small on purpose, so transient fullness is
-// expected, but a queue that never drains is a harness failure.
-func submitJobRetry(f func() (*sched.Job, error)) (*sched.Job, error) {
+// submitJobRetry absorbs transient admission denials — queue-full and
+// guard sheds other than breaker-open — with a bounded retry: scenario
+// queue depths (and overload limits) are drawn small on purpose, so
+// transient refusal is expected, but a queue that never drains is a
+// harness failure. Every attempt's outcome lands in the tally so the
+// phase-end balance audit sees exactly what the scheduler counted.
+func submitJobRetry(tally *admitTally, f func() (*sched.Job, error)) (*sched.Job, error) {
 	for i := 0; ; i++ {
 		j, err := f()
-		if err == nil || !errors.Is(err, sched.ErrQueueFull) || i >= 4000 {
+		retryable := tally.count(err)
+		if err == nil || !retryable || i >= 4000 {
 			return j, err
 		}
 		time.Sleep(time.Millisecond)
@@ -314,6 +318,16 @@ func submitPipeRetry(f func() (*flow.Pipeline, error)) (*flow.Pipeline, error) {
 func Run(scn *Scenario, opts Options) (*Outcome, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("sim: Options.Dir is required")
+	}
+	if scn.Overload != nil && len(scn.Pipelines) > 0 {
+		// Pipelines submit their stage jobs inside the flow engine, outside
+		// the harness's admission tally, which would unbalance the shed
+		// accounting the overload invariants assert.
+		return nil, errors.New("sim: overload scenarios cannot carry pipelines")
+	}
+	if scn.Overload != nil && len(scn.Jobs) == 0 {
+		// The storm borrows Jobs[0].Scene for its submissions.
+		return nil, errors.New("sim: overload scenarios need at least one job")
 	}
 	if opts.Scenes == nil {
 		opts.Scenes = NewSceneCache()
@@ -360,6 +374,7 @@ func runPhase(scn *Scenario, phase int, cp *CrashPoint, opts Options, out *Outco
 	}
 
 	trig := newTrigger(cp)
+	tally := &admitTally{}
 	s := sched.New(sched.Config{
 		Workers:         scn.Workers,
 		QueueDepth:      scn.QueueDepth,
@@ -368,6 +383,7 @@ func runPhase(scn *Scenario, phase int, cp *CrashPoint, opts Options, out *Outco
 		RetryBaseDelay:  time.Millisecond,
 		RetryMaxDelay:   4 * time.Millisecond,
 		Journal:         jl,
+		Guard:           overloadGuard(scn.Overload),
 		OnJobRunning:    trig.jobRunning,
 		OnJobCheckpoint: trig.jobCheckpoint,
 	})
@@ -409,7 +425,7 @@ func runPhase(scn *Scenario, phase int, cp *CrashPoint, opts Options, out *Outco
 				}
 				continue
 			}
-			j, err := submitJobRetry(func() (*sched.Job, error) { return s.SubmitResumed(ctx, jj, spec) })
+			j, err := submitJobRetry(tally, func() (*sched.Job, error) { return s.SubmitResumed(ctx, jj, spec) })
 			if err != nil {
 				out.fail("replay: phase %d: resuming job %s: %v", phase, label, err)
 				continue
@@ -452,7 +468,7 @@ func runPhase(scn *Scenario, phase int, cp *CrashPoint, opts Options, out *Outco
 		if err != nil {
 			return ph, err
 		}
-		j, err := submitJobRetry(func() (*sched.Job, error) { return s.Submit(ctx, spec) })
+		j, err := submitJobRetry(tally, func() (*sched.Job, error) { return s.Submit(ctx, spec) })
 		if err != nil {
 			out.fail("submit: phase %d: job %s: %v", phase, pl.Label, err)
 			continue
@@ -472,6 +488,21 @@ func runPhase(scn *Scenario, phase int, cp *CrashPoint, opts Options, out *Outco
 		}
 		ph.Fresh++
 		watch = append(watch, p.Done())
+	}
+
+	// The overload storm rides on top of the workload: burst submissions
+	// (some doomed by design) and, when asked, the breaker-trip sequence.
+	// Storm handles stay out of `watch` — they are load, not settlement
+	// milestones, and the settled-count crash trigger must not see them.
+	var stormHandles []*sched.Job
+	if scn.Overload != nil {
+		stormHandles, err = runStorm(scn, phase, s, opts.Scenes, out, tally, opts.Timeout)
+		if err != nil {
+			eng.Close()
+			s.Close()
+			jl.Close()
+			return ph, err
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -525,6 +556,9 @@ func runPhase(scn *Scenario, phase int, cp *CrashPoint, opts Options, out *Outco
 
 	st := s.Stats()
 	ph.Stats = st
+	if scn.Overload != nil {
+		auditStorm(out, phase, st, tally, stormHandles)
+	}
 	if st.Queued != 0 || st.Running != 0 {
 		out.fail("balance: phase %d left queued=%d running=%d after shutdown", phase, st.Queued, st.Running)
 	}

@@ -162,6 +162,30 @@ type PipelinePlan struct {
 	Synthesize bool
 }
 
+// OverloadPlan turns a scenario into an overload exercise: the runner
+// builds a guard.Controller with a pinned admission limit (Min == Max,
+// so the limit never drifts with wall-clock latency and the scenario
+// stays reproducible), injects a submit storm each phase, and asserts
+// the overload invariants — shed counters balance submitted vs
+// admitted, expired jobs never dispatch, a tripped breaker rejects, and
+// hedged results are byte-identical to an unhedged baseline.
+type OverloadPlan struct {
+	// Limit pins the AIMD admission limit (Min == Max == Limit).
+	Limit int
+	// Storm is the number of burst submissions injected per phase.
+	Storm int
+	// Doomed is how many storm jobs carry a deadline so short it usually
+	// passes while they sit in queue — the lazy-expiry invariant's food.
+	Doomed int
+	// Hedge enables straggler hedging with a fixed tiny delay, so nearly
+	// every job races a hedge and the determinism invariant bites.
+	Hedge bool
+	// Breaker runs the breaker-trip sequence: two permanent-crash jobs
+	// against one backend profile, then a third that must be rejected by
+	// the opened circuit.
+	Breaker bool
+}
+
 // Scenario is one fully expanded workload. It is pure data: FromSeed
 // with the same seed always returns the identical value.
 type Scenario struct {
@@ -172,6 +196,11 @@ type Scenario struct {
 	Jobs         []JobPlan
 	Pipelines    []PipelinePlan
 	Crashes      []CrashPoint
+	// Overload, when non-nil, layers the guard + submit-storm exercise
+	// over the workload. Overload scenarios carry no pipelines: the flow
+	// engine submits stage jobs internally, outside the harness's
+	// admission accounting, which would unbalance the shed counters.
+	Overload *OverloadPlan
 }
 
 // networkNames are the four UMD platform menus of the paper.
@@ -258,9 +287,25 @@ func FromSeed(seed uint64) *Scenario {
 		}
 	}
 
-	nPipes := r.intn(3)
-	for i := 0; i < nPipes; i++ {
-		s.Pipelines = append(s.Pipelines, randPipeline(r, fmt.Sprintf("p%d", i)))
+	// Roughly a quarter of scenarios run under overload: a guard with a
+	// pinned limit, a per-phase submit storm, and (sometimes) doomed
+	// deadlines, hedging and a breaker trip. The draw happens before the
+	// pipeline draw because overload scenarios exclude pipelines.
+	if r.chance(0.25) {
+		s.Overload = &OverloadPlan{
+			Limit:   s.Workers * r.rangeInt(2, 4),
+			Storm:   r.rangeInt(6, 12),
+			Doomed:  r.rangeInt(1, 3),
+			Hedge:   r.chance(0.5),
+			Breaker: r.chance(0.5),
+		}
+	}
+
+	if s.Overload == nil {
+		nPipes := r.intn(3)
+		for i := 0; i < nPipes; i++ {
+			s.Pipelines = append(s.Pipelines, randPipeline(r, fmt.Sprintf("p%d", i)))
+		}
 	}
 
 	nCrashes := r.intn(3)
@@ -527,6 +572,10 @@ func (s *Scenario) clone() *Scenario {
 		c.Pipelines[i] = p
 	}
 	c.Crashes = append([]CrashPoint(nil), s.Crashes...)
+	if s.Overload != nil {
+		ov := *s.Overload
+		c.Overload = &ov
+	}
 	return &c
 }
 
@@ -557,6 +606,16 @@ func (s *Scenario) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario(seed=%d workers=%d queue=%d cache=%d)\n",
 		s.Seed, s.Workers, s.QueueDepth, s.CacheEntries)
+	if ov := s.Overload; ov != nil {
+		fmt.Fprintf(&b, "  overload: limit=%d storm=%d doomed=%d", ov.Limit, ov.Storm, ov.Doomed)
+		if ov.Hedge {
+			b.WriteString(" hedge")
+		}
+		if ov.Breaker {
+			b.WriteString(" breaker")
+		}
+		b.WriteString("\n")
+	}
 	for _, j := range s.Jobs {
 		fmt.Fprintf(&b, "  job %s: %s", j.Label, j.Mode)
 		if j.Algorithm != "" {

@@ -129,6 +129,37 @@ func Minimize(scn *Scenario, opts CheckOptions, budget int) (*ShrinkResult, erro
 				improved = true
 			}
 		}
+		// The overload plan rides on top of the workload: try dropping it
+		// wholesale, then its optional halves, before touching the jobs.
+		if cur.Overload != nil && runs < budget {
+			cand := cur.clone()
+			cand.Overload = nil
+			if v, bad, err := fails(cand); err != nil {
+				return nil, err
+			} else if bad {
+				cur, curV = cand, v
+				improved = true
+			}
+		}
+		for _, strip := range []func(*OverloadPlan){
+			func(ov *OverloadPlan) { ov.Hedge = false },
+			func(ov *OverloadPlan) { ov.Breaker = false },
+		} {
+			if cur.Overload == nil || runs >= budget {
+				break
+			}
+			cand := cur.clone()
+			strip(cand.Overload)
+			if *cand.Overload == *cur.Overload {
+				continue
+			}
+			if v, bad, err := fails(cand); err != nil {
+				return nil, err
+			} else if bad {
+				cur, curV = cand, v
+				improved = true
+			}
+		}
 		for i := 0; i < len(cur.Pipelines) && runs < budget; i++ {
 			cand := dropPipe(cur, i)
 			if v, bad, err := fails(cand); err != nil {
@@ -140,6 +171,9 @@ func Minimize(scn *Scenario, opts CheckOptions, budget int) (*ShrinkResult, erro
 			}
 		}
 		for i := 0; i < len(cur.Jobs) && runs < budget; i++ {
+			if cur.Overload != nil && len(cur.Jobs) == 1 {
+				break // the storm borrows Jobs[0].Scene; keep one job
+			}
 			cand := dropJob(cur, i)
 			if v, bad, err := fails(cand); err != nil {
 				return nil, err

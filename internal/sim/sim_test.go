@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/scene"
 	"repro/internal/sched"
 )
 
@@ -147,6 +149,91 @@ func TestBrokenInvariantIsCaughtAndShrunk(t *testing.T) {
 	if want := ReproLine(seed); !strings.Contains(report, want) {
 		t.Errorf("shrink report misses the repro line %q:\n%s", want, report)
 	}
+}
+
+// overloadScenario is a handcrafted overload exercise: a small worker
+// pool behind a pinned guard limit, a submit storm with doomed
+// deadlines, hedging on, and the breaker-trip sequence — every overload
+// invariant in one scenario.
+func overloadScenario() *Scenario {
+	sc := scene.Config{Lines: 24, Samples: 16, Bands: 8, Seed: 1}
+	return &Scenario{
+		Seed:       0,
+		Workers:    2,
+		QueueDepth: 16,
+		Jobs: []JobPlan{
+			{Label: "j0", Scene: sc, Mode: sched.ModeSequential, Algorithm: core.ATDCA, Targets: 4},
+			{Label: "j1", Scene: sc, Mode: sched.ModeRun, Algorithm: core.UFCLS,
+				Variant: core.Hetero, Network: "fully-het", Targets: 5},
+			{Label: "j2", Scene: sc, Mode: sched.ModeSequential, Algorithm: core.PCT,
+				Targets: 4, Priority: sched.Interactive},
+		},
+		Overload: &OverloadPlan{Limit: 6, Storm: 8, Doomed: 2, Hedge: true, Breaker: true},
+	}
+}
+
+// TestOverloadScenario drives the handcrafted overload plan through the
+// checker, both crash-free and with a mid-run crash/restart, and
+// asserts every invariant holds: shed balance, lazy expiry, the tripped
+// breaker, and hedged digests matching the unhedged baseline.
+func TestOverloadScenario(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		t.Parallel()
+		v, err := Check(overloadScenario(), CheckOptions{Dir: t.TempDir(), Scenes: sharedScenes})
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if !v.OK() {
+			t.Fatalf("overload invariants failed:\n%s", v)
+		}
+	})
+	t.Run("crash", func(t *testing.T) {
+		t.Parallel()
+		scn := overloadScenario()
+		scn.Crashes = []CrashPoint{{Kind: TrigSettled, Settle: 1, Tear: TearTruncate, TearFrac: 0.5}}
+		v, err := Check(scn, CheckOptions{Dir: t.TempDir(), Scenes: sharedScenes})
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if !v.OK() {
+			t.Fatalf("overload invariants failed across a crash:\n%s", v)
+		}
+	})
+}
+
+// TestOverloadRejectsPipelines asserts the harness refuses the one
+// combination whose accounting cannot balance: pipelines submit stage
+// jobs inside the flow engine, invisible to the admission tally.
+func TestOverloadRejectsPipelines(t *testing.T) {
+	scn := overloadScenario()
+	scn.Pipelines = []PipelinePlan{{Label: "p0", Scene: scn.Jobs[0].Scene}}
+	if _, err := Run(scn, Options{Dir: t.TempDir()}); err == nil {
+		t.Fatal("overload scenario with pipelines was accepted; want a harness error")
+	}
+}
+
+// TestSeedsDrawOverload asserts the generator actually emits overload
+// plans — and that every one it emits is storm-capable and
+// pipeline-free.
+func TestSeedsDrawOverload(t *testing.T) {
+	drawn := 0
+	for seed := uint64(1); seed <= 100; seed++ {
+		s := FromSeed(seed)
+		if s.Overload == nil {
+			continue
+		}
+		drawn++
+		if len(s.Pipelines) != 0 {
+			t.Errorf("seed %d: overload scenario carries %d pipelines", seed, len(s.Pipelines))
+		}
+		if s.Overload.Limit < 2 || s.Overload.Storm < 6 || s.Overload.Doomed < 1 {
+			t.Errorf("seed %d: degenerate overload plan %+v", seed, s.Overload)
+		}
+	}
+	if drawn == 0 {
+		t.Fatal("no seed in 1..100 drew an overload plan")
+	}
+	t.Logf("%d/100 seeds drew overload plans", drawn)
 }
 
 // TestTornJournalSurvivesEveryTearOffset exhaustively tears one

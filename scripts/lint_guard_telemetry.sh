@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Guard telemetry lint: the hyperhet_guard_* metric names registered by
+# the scheduler must exactly match the documented set in DESIGN.md
+# ("Overload control" section). Dashboards and alerts are written
+# against the documented names, so drift in either direction — a metric
+# renamed in code, or documented but never registered — fails CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+code=$(grep -rhoE '"hyperhet_guard_[a-z_]+"' internal/sched | tr -d '"' | sort -u)
+doc=$(grep -hoE 'hyperhet_guard_[a-z_]+' DESIGN.md | sort -u)
+
+if [ -z "$code" ]; then
+  echo "lint: no hyperhet_guard_* metrics registered in internal/sched" >&2
+  exit 1
+fi
+if [ -z "$doc" ]; then
+  echo "lint: no hyperhet_guard_* names documented in DESIGN.md" >&2
+  exit 1
+fi
+
+if ! diff <(printf '%s\n' "$code") <(printf '%s\n' "$doc") >/dev/null; then
+  echo "lint: guard telemetry names drifted between internal/sched and DESIGN.md" >&2
+  echo "lint: (< registered in code, > documented in DESIGN.md)" >&2
+  diff <(printf '%s\n' "$code") <(printf '%s\n' "$doc") >&2 || true
+  exit 1
+fi
+
+echo "lint: guard telemetry names in sync ($(printf '%s\n' "$code" | wc -l | tr -d ' ') metrics)"
