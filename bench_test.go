@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -204,6 +205,76 @@ func BenchmarkTable7_Imbalance(b *testing.B) {
 				b.ReportMetric(rep.DAll, "D_all")
 				b.ReportMetric(rep.DMinus, "D_minus")
 			})
+		}
+	}
+}
+
+// --- Dynamic load balancing --------------------------------------------
+
+// rankImbalance is the max/mean ratio of the per-rank busy (PAR) times —
+// 1.0 is a perfectly level schedule.
+func rankImbalance(rep *RunReport) float64 {
+	if len(rep.BusyTimes) == 0 {
+		return 1
+	}
+	var max, sum float64
+	for _, t := range rep.BusyTimes {
+		if t > max {
+			max = t
+		}
+		sum += t
+	}
+	mean := sum / float64(len(rep.BusyTimes))
+	if mean == 0 {
+		return 1
+	}
+	return max / mean
+}
+
+// BenchmarkBalance compares the static WEA schedule against demand-driven
+// chunk scheduling (BalancePolicy) on the UMD fully-heterogeneous and
+// fully-homogeneous platforms, reporting the per-rank PAR imbalance
+// (max/mean busy time) and the run's virtual wall time. Each cell runs
+// clean and under "drift" — one rank degraded to 6x its modelled cycle
+// time for the whole run, the scenario the WEA model cannot see. The
+// headline cells are fully-hetero drift: the static plan keeps feeding
+// the degraded rank its full share while demand-driven grants shed it.
+func BenchmarkBalance(b *testing.B) {
+	_, sc, _ := benchScenes(b)
+	nets := []*Network{FullyHeterogeneous(), FullyHomogeneous()}
+	ctxOf := map[string]context.Context{
+		"static":   context.Background(),
+		"balanced": WithBalance(context.Background(), DefaultBalancePolicy()),
+	}
+	drifted := benchParams(sc.Config)
+	drifted.Faults = &FaultPlan{Degrades: []FaultDegrade{
+		{Rank: 5, From: 0, To: math.Inf(1), Factor: 6, Attempt: -1},
+	}}
+	paramsOf := map[string]Params{"clean": benchParams(sc.Config), "drift": drifted}
+	for _, net := range nets {
+		for _, scenario := range []string{"clean", "drift"} {
+			params := paramsOf[scenario]
+			for _, mode := range []string{"static", "balanced"} {
+				ctx := ctxOf[mode]
+				for _, alg := range Algorithms {
+					b.Run(fmt.Sprintf("%s/%s/%s/%s", net.Name, scenario, mode, alg), func(b *testing.B) {
+						var rep *RunReport
+						var err error
+						for i := 0; i < b.N; i++ {
+							rep, err = RunContext(ctx, net, alg, Hetero, sc.Cube, params)
+							if err != nil {
+								b.Fatal(err)
+							}
+						}
+						b.ReportMetric(rankImbalance(rep), "imbalance")
+						b.ReportMetric(rep.WallTime, "vsec")
+						if rep.Balanced {
+							b.ReportMetric(float64(rep.BalanceChunks), "chunks")
+							b.ReportMetric(float64(rep.ReassignedLines), "moved_lines")
+						}
+					})
+				}
+			}
 		}
 	}
 }

@@ -114,6 +114,7 @@ func main() {
 		kernelW = flag.Int("kernel-workers", 0, "host goroutine budget for data-parallel kernels, shared across jobs (0 = GOMAXPROCS)")
 		shed    = flag.Bool("shed", false, "enable overload control: adaptive AIMD admission, deadline-aware shedding (429 + Retry-After) and per-backend circuit breaking (503)")
 		hedge   = flag.Bool("hedge", false, "enable straggler hedging: a job running past its class p95 races a second attempt, first finisher wins")
+		balance = flag.Bool("balance", false, "schedule every job's parallel phases demand-driven by default (per-request \"balance\": true opts single jobs in regardless)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -161,6 +162,7 @@ func main() {
 		log.Fatalf("hyperhetd: %v", err)
 	}
 	srv.enablePprof = *pprofOn
+	srv.defaultBalance = *balance
 	defer srv.close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
@@ -207,6 +209,10 @@ type server struct {
 	start       time.Time
 	enablePprof bool
 	draining    atomic.Bool
+
+	// defaultBalance makes every submitted job demand-driven (-balance);
+	// requests can still opt in individually with "balance": true.
+	defaultBalance bool
 
 	// replayStats records what the boot-time journal replay read and
 	// dropped; nil without -journal. Surfaced in /stats.
@@ -286,6 +292,9 @@ func (s *server) replay(jobs []*hyperhet.JournalJob) {
 		if err != nil {
 			s.logger.Warn("journal replay: bad request", "id", jj.ID, "error", err)
 			continue
+		}
+		if s.defaultBalance {
+			spec.Balance = true
 		}
 		if jj.Finished {
 			// History only: no scene materialization, no execution.
@@ -413,9 +422,14 @@ type submitRequest struct {
 	// with -journal, post-restart re-runs) resume from the last completed
 	// round instead of round zero. Implied for fault jobs that can retry
 	// or recover. Checkpointed jobs bypass the result cache.
-	Checkpoint bool          `json:"checkpoint"`
-	Scene      sceneRequest  `json:"scene"`
-	Faults     *faultRequest `json:"faults"`
+	Checkpoint bool `json:"checkpoint"`
+	// Balance schedules the job's parallel phases demand-driven: chunks
+	// granted on request, sized by an online per-rank throughput
+	// estimate. Outputs are identical to the static schedule; timings and
+	// the result's balance accounting change.
+	Balance bool          `json:"balance"`
+	Scene   sceneRequest  `json:"scene"`
+	Faults  *faultRequest `json:"faults"`
 }
 
 // faultRequest injects a deterministic failure plan into the run: either
@@ -469,6 +483,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.logger.Warn("submit rejected", "error", err)
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if s.defaultBalance {
+		spec.Balance = true
 	}
 	// Materialize the (validated, size-capped) scene only after the whole
 	// request parsed: parseSubmit allocates nothing.
@@ -577,6 +594,7 @@ func parseSubmit(req *submitRequest) (hyperhet.JobSpec, hyperhet.SceneConfig, er
 	spec.Label = req.Label
 	spec.NoCache = req.NoCache
 	spec.Checkpoint = req.Checkpoint
+	spec.Balance = req.Balance
 
 	spec.Params = hyperhet.DefaultParams()
 	spec.Params.Trace = req.Trace
@@ -749,6 +767,14 @@ type resultSummary struct {
 	ResumedFromRound   int     `json:"resumed_from_round,omitempty"`
 	CheckpointSaves    int     `json:"checkpoint_saves,omitempty"`
 	CheckpointOverhead float64 `json:"checkpoint_overhead_seconds,omitempty"`
+	// Demand-driven scheduling bookkeeping of a balanced run: chunks
+	// granted, grants that crossed static share boundaries (and the lines
+	// they moved), and the estimator's mean relative prediction error.
+	Balanced        bool    `json:"balanced,omitempty"`
+	BalanceChunks   int     `json:"balance_chunks,omitempty"`
+	StealEvents     int     `json:"steal_events,omitempty"`
+	ReassignedLines int     `json:"reassigned_lines,omitempty"`
+	EstimatorDrift  float64 `json:"estimator_drift,omitempty"`
 }
 
 // maxJobsListing caps GET /jobs responses; pass ?limit= for less.
@@ -828,6 +854,13 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 			sum.ResumedFromRound = rep.ResumedFromRound
 			sum.CheckpointSaves = rep.CheckpointSaves
 			sum.CheckpointOverhead = rep.CheckpointOverhead
+		}
+		if rep.Balanced {
+			sum.Balanced = true
+			sum.BalanceChunks = rep.BalanceChunks
+			sum.StealEvents = rep.StealEvents
+			sum.ReassignedLines = rep.ReassignedLines
+			sum.EstimatorDrift = rep.EstimatorDrift
 		}
 		resp.Result = sum
 	}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/balance"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -415,6 +416,23 @@ type (
 // already holds one, resumes from it (RunReport.ResumedFromRound).
 func WithCheckpointer(ctx context.Context, ck Checkpointer) context.Context {
 	return core.WithCheckpointer(ctx, ck)
+}
+
+// BalancePolicy configures demand-driven chunk scheduling: when enabled,
+// the master grants line-range chunks on request, sized by an online
+// per-rank throughput estimator, instead of fixing shares up front with
+// WEA. Outputs are byte-identical to the static schedule; only the
+// virtual timings and the report's balance accounting change.
+type BalancePolicy = balance.Policy
+
+// DefaultBalancePolicy returns an enabled policy with default tuning.
+func DefaultBalancePolicy() BalancePolicy { return balance.DefaultPolicy() }
+
+// WithBalance attaches a demand-driven balance policy to a run context
+// (see BalancePolicy). Scheduler jobs opt in with JobSpec.Balance;
+// hyperhetd with the -balance flag or a "balance": true submit field.
+func WithBalance(ctx context.Context, pol BalancePolicy) context.Context {
+	return core.WithBalance(ctx, pol)
 }
 
 // NewCheckpointFileStore opens (creating as needed) a file-backed

@@ -18,6 +18,7 @@ package algo
 import (
 	"fmt"
 
+	"repro/internal/balance"
 	"repro/internal/checkpoint"
 	"repro/internal/cube"
 	"repro/internal/linalg"
@@ -53,6 +54,10 @@ type DetectionParams struct {
 	// of round zero. Nil disables checkpointing with zero protocol or
 	// virtual-time change.
 	Checkpoint checkpoint.Checkpointer
+	// Balance, when non-nil, replaces the static scatter with the
+	// demand-driven chunk protocol of package balance. Nil keeps the
+	// static schedule with zero protocol or virtual-time change.
+	Balance *balance.Balancer
 }
 
 // eqBands returns the band count used for master-side fixed charges.

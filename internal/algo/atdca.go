@@ -61,6 +61,9 @@ func ATDCASequential(f *cube.Cube, t int) (*DetectionResult, error) {
 // mpi program; f is required at the root and ignored elsewhere. The
 // result is returned at the root; other ranks return nil.
 func ATDCAParallel(c *mpi.Comm, f *cube.Cube, params DetectionParams, strat partition.Strategy) (*DetectionResult, error) {
+	if params.Balance != nil {
+		return atdcaBalanced(c, f, params)
+	}
 	t := params.Targets
 	if c.Root() {
 		if err := validateTargets(f, t); err != nil {

@@ -1,0 +1,536 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/cube"
+	"repro/internal/linalg"
+	"repro/internal/morph"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/spectral"
+	"repro/internal/vtime"
+)
+
+// This file implements the demand-driven (dynamically load-balanced)
+// variants of the four parallel algorithms. Instead of ScatterCube's
+// one-shot static distribution, each parallel phase runs through
+// balance.RunPhase: the master grants line chunks on request, sized by
+// the online throughput estimator, and rows travel with the grants
+// (data-affinity: a row already held by a rank ships for free).
+//
+// Outputs must stay byte-identical to the static-WEA run. Two phase
+// modes achieve that:
+//
+//   - guided chunks for chunk-insensitive work: argmax candidate folds
+//     (ATDCA brightness/projection, UFCLS error) and pure per-pixel
+//     labeling (PCT step 8-9, MORPH step 4). The master folds chunk
+//     results in ascending span order with the same strict comparisons
+//     as the static rank-order fold, so ties still resolve to the
+//     earliest pixel;
+//   - the static spans as a fixed task list for partition-sensitive
+//     numerics (PCT unique sets/mean/covariance, MORPH MEI and candidate
+//     selection), which run the exact per-span static code and fold at
+//     the master in span order — the static rank order.
+
+// balancedGeom distributes the scene geometry to every rank — the
+// balanced protocol's replacement for ScatterCube's upfront metadata
+// (the rows themselves travel with chunk grants).
+func balancedGeom(c *mpi.Comm, f *cube.Cube) [3]int {
+	var geom [3]int
+	if c.Root() {
+		geom = [3]int{f.Lines, f.Samples, f.Bands}
+	}
+	return c.Bcast(0, tagScatter, geom, 24).([3]int)
+}
+
+// chunkCand is the per-chunk payload of the detectors' balanced rounds:
+// the chunk's champion pixel, or the error that stopped the scan.
+type chunkCand struct {
+	cand candidate
+	err  error
+}
+
+// chunkCandsOf unpacks chunk candidates from span-sorted partials, surfacing
+// the first error in span order.
+func chunkCandsOf(partials []balance.Partial) ([]candidate, error) {
+	cands := make([]candidate, 0, len(partials))
+	for _, p := range partials {
+		cc := p.Payload.(chunkCand)
+		if cc.err != nil {
+			return nil, cc.err
+		}
+		cands = append(cands, cc.cand)
+	}
+	return cands, nil
+}
+
+// detectRound runs one guided-chunk candidate phase, returning the
+// span-ordered chunk champions at the root (nil elsewhere).
+func detectRound(c *mpi.Comm, b *balance.Balancer, lines int, fpl float64, work balance.Work) ([]candidate, error) {
+	partials := balance.RunPhase(c, b, balance.Phase{Lines: lines, FlopsPerLine: fpl}, work)
+	if !c.Root() {
+		return nil, nil
+	}
+	return chunkCandsOf(partials)
+}
+
+// brightWork scans a chunk for the brightest pixel — localBrightest on a
+// chunk-shaped LocalPart.
+func brightWork(c *mpi.Comm, bands int) balance.Work {
+	return func(view *cube.Cube, owned, halo partition.Span) (any, int) {
+		lp := LocalPart{Cube: view, Owned: owned, Halo: halo}
+		return chunkCand{cand: localBrightest(c, lp)}, candidateBytes(bands)
+	}
+}
+
+// projWork scans chunks for the maximum orthogonal projection. The dense
+// projector is a per-round constant, so each rank builds (and charges)
+// it once on its first chunk of the round and reuses it afterwards.
+func projWork(c *mpi.Comm, u uMatrix, bands int) balance.Work {
+	var dense *linalg.Mat
+	return func(view *cube.Cube, owned, halo partition.Span) (any, int) {
+		if dense == nil {
+			proj, err := linalg.NewOSP(u.mat(bands))
+			if err != nil {
+				return chunkCand{err: err}, candidateBytes(bands)
+			}
+			dense = proj.Dense()
+			c.ComputeFixed(linalg.FlopsOSPDenseBuild(len(u.rows), bands), vtime.Par)
+		}
+		best, bestScore := -1, -1.0
+		for p := 0; p < view.NumPixels(); p++ {
+			if s := linalg.DenseScore(dense, view.PixelAt(p)); s > bestScore {
+				best, bestScore = p, s
+			}
+		}
+		c.Compute(float64(view.NumPixels())*linalg.FlopsOSPDenseApply(bands), vtime.Par)
+		l, s := view.Coord(best)
+		sig := make([]float32, view.Bands)
+		copy(sig, view.PixelAt(best))
+		return chunkCand{cand: candidate{line: l + owned.Lo, sample: s, score: bestScore, sig: sig, valid: true}}, candidateBytes(bands)
+	}
+}
+
+// errWork unmixes chunks against U and reports the worst-reconstructed
+// pixel. The endmember Gram matrix is a per-round constant charged once
+// per rank, like projWork's projector.
+func errWork(c *mpi.Comm, u uMatrix, bands int) balance.Work {
+	charged := false
+	return func(view *cube.Cube, owned, halo partition.Span) (any, int) {
+		if !charged {
+			c.ComputeFixed(linalg.FlopsGram(len(u.rows), bands), vtime.Par)
+			charged = true
+		}
+		best, bestScore, err := maxErrorScan(view, u, bands)
+		if err != nil {
+			return chunkCand{err: err}, candidateBytes(bands)
+		}
+		c.Compute(float64(view.NumPixels())*linalg.FlopsFCLSGram(bands, len(u.rows)), vtime.Par)
+		l, s := view.Coord(best)
+		sig := make([]float32, view.Bands)
+		copy(sig, view.PixelAt(best))
+		return chunkCand{cand: candidate{line: l + owned.Lo, sample: s, score: bestScore, sig: sig, valid: true}}, candidateBytes(bands)
+	}
+}
+
+// detectBalanced is the shared demand-driven round loop of ATDCA and
+// UFCLS, which differ only in the round criterion and the master's
+// re-scoring step.
+func detectBalanced(c *mpi.Comm, f *cube.Cube, params DetectionParams, key string,
+	roundWork func(u uMatrix, bands int) balance.Work, roundFlopsPerLine func(u uMatrix, samples, bands int) float64,
+	pick func(cands []candidate, u uMatrix, bands, eqBands int) (Target, error)) (*DetectionResult, error) {
+	b := params.Balance
+	t := params.Targets
+	if c.Root() {
+		if err := validateTargets(f, t); err != nil {
+			return nil, err
+		}
+	}
+	geom := balancedGeom(c, f)
+	lines, samples, bands := geom[0], geom[1], geom[2]
+
+	var res *DetectionResult
+	var u uMatrix
+	start := 0
+	if c.Root() {
+		if targets := restoreTargets(c, params.Checkpoint, key, t); len(targets) > 0 {
+			res = &DetectionResult{Targets: targets}
+			for _, tg := range targets {
+				u.rows = append(u.rows, toF64(tg.Signature))
+			}
+			start = len(targets)
+		}
+	}
+	if params.Checkpoint != nil {
+		start = syncResume(c, start)
+	}
+
+	if start == 0 {
+		cands, err := detectRound(c, b, lines, float64(samples)*linalg.FlopsDot(bands), brightWork(c, bands))
+		if err != nil {
+			return nil, err
+		}
+		if c.Root() {
+			res = &DetectionResult{}
+			best := pickBrightest(c, cands)
+			res.Targets = append(res.Targets, best)
+			u.rows = append(u.rows, toF64(best.Signature))
+			if err := saveTargets(c, params.Checkpoint, key, res.Targets); err != nil {
+				return nil, err
+			}
+		}
+		start = 1
+	}
+	u = broadcastU(c, u, bands)
+
+	for round := start; round < t; round++ {
+		cands, err := detectRound(c, b, lines, roundFlopsPerLine(u, samples, bands), roundWork(u, bands))
+		if err != nil {
+			return nil, err
+		}
+		if c.Root() {
+			best, err := pick(cands, u, bands, params.eqBands(bands))
+			if err != nil {
+				return nil, err
+			}
+			res.Targets = append(res.Targets, best)
+			u.rows = append(u.rows, toF64(best.Signature))
+			if err := saveTargets(c, params.Checkpoint, key, res.Targets); err != nil {
+				return nil, err
+			}
+		}
+		u = broadcastU(c, u, bands)
+	}
+	return res, nil
+}
+
+// atdcaBalanced is ATDCAParallel with demand-driven chunk scheduling.
+func atdcaBalanced(c *mpi.Comm, f *cube.Cube, params DetectionParams) (*DetectionResult, error) {
+	return detectBalanced(c, f, params, ckptATDCA,
+		func(u uMatrix, bands int) balance.Work { return projWork(c, u, bands) },
+		func(u uMatrix, samples, bands int) float64 {
+			return float64(samples) * linalg.FlopsOSPDenseApply(bands)
+		},
+		func(cands []candidate, u uMatrix, bands, eqBands int) (Target, error) {
+			return pickMaxProjection(c, cands, u, bands, eqBands)
+		})
+}
+
+// ufclsBalanced is UFCLSParallel with demand-driven chunk scheduling.
+func ufclsBalanced(c *mpi.Comm, f *cube.Cube, params DetectionParams) (*DetectionResult, error) {
+	return detectBalanced(c, f, params, ckptUFCLS,
+		func(u uMatrix, bands int) balance.Work { return errWork(c, u, bands) },
+		func(u uMatrix, samples, bands int) float64 {
+			return float64(samples) * linalg.FlopsFCLSGram(bands, len(u.rows))
+		},
+		func(cands []candidate, u uMatrix, bands, eqBands int) (Target, error) {
+			return pickMaxError(c, cands, u, bands, eqBands)
+		})
+}
+
+// assembleLabels stitches span-sorted label chunks into the full image,
+// with the same linear assembly charge as GatherLabels.
+func assembleLabels(c *mpi.Comm, partials []balance.Partial, lines, samples int) []int {
+	out := make([]int, lines*samples)
+	for _, p := range partials {
+		lab := p.Payload.([]int)
+		if len(lab) != p.Span.Len()*samples {
+			panic(fmt.Sprintf("algo: chunk [%d,%d) produced %d labels for %d pixels",
+				p.Span.Lo, p.Span.Hi, len(lab), p.Span.Len()*samples))
+		}
+		copy(out[p.Span.Lo*samples:p.Span.Hi*samples], lab)
+	}
+	c.Compute(float64(len(out)), vtime.Seq)
+	return out
+}
+
+// pctStatPartial carries one static span's statistics: the merged local
+// unique set plus the finite-pixel band sums feeding the global mean.
+type pctStatPartial struct {
+	reps  []rep
+	sum   []float64
+	count int
+}
+
+// pctBalanced is PCTParallel with demand-driven chunk scheduling. The
+// statistics phases (steps 2-6) run as fixed tasks at the static spans —
+// unique-set construction and the population floor are partition-shape-
+// sensitive — while the final transform/classify phase (steps 8-9) uses
+// guided chunks, being purely per-pixel.
+func pctBalanced(c *mpi.Comm, f *cube.Cube, params PCTParams) (*ClassificationResult, error) {
+	b := params.Balance
+	if c.Root() {
+		if err := params.validate(f); err != nil {
+			return nil, err
+		}
+	}
+	geom := balancedGeom(c, f)
+	lines, samples, bands := geom[0], geom[1], geom[2]
+
+	var msg pctBcastMsg
+	resumed := 0
+	if c.Root() {
+		if m, ok := restorePCTState(c, params.Checkpoint, bands); ok {
+			msg, resumed = m, 1
+		}
+	}
+	if params.Checkpoint != nil {
+		resumed = syncResume(c, resumed)
+	}
+	if resumed == 0 {
+		var err error
+		msg, err = pctBalancedStats(c, b, params, geom)
+		if err != nil {
+			return nil, err
+		}
+		if c.Root() {
+			if err := savePCTState(c, params.Checkpoint, msg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var msgBytes int
+	if c.Root() {
+		msgBytes = msg.bytes()
+	}
+	msg = c.Bcast(0, tagBroadcast, msg, msgBytes).(pctBcastMsg)
+
+	// Steps 8-9 as one guided phase: transform the chunk into the reduced
+	// space and classify it in place (no reduced-cube round trip through
+	// the master — the grant already carried the rows).
+	work := func(view *cube.Cube, owned, halo partition.Span) (any, int) {
+		reduced, flops := reduceCube(view, msg.t, msg.mean)
+		c.Compute(flops, vtime.Par)
+		labels, clFlops := classifyReducedVectors(reduced, msg.reduced, msg.t.Rows)
+		c.Compute(clFlops, vtime.Par)
+		return labels, int(8 * float64(len(labels)) * c.DataScale())
+	}
+	fpl := float64(samples) * (linalg.FlopsMulVec(msg.t.Rows, bands) +
+		float64(len(msg.reduced))*spectral.FlopsSAD(msg.t.Rows))
+	partials := balance.RunPhase(c, b, balance.Phase{Lines: lines, FlopsPerLine: fpl}, work)
+	if !c.Root() {
+		return nil, nil
+	}
+	return &ClassificationResult{Labels: assembleLabels(c, partials, lines, samples), Classes: msg.classes}, nil
+}
+
+// pctBalancedStats runs steps 2-7 demand-driven over the static spans,
+// reproducing pctComputePhase's per-span work and master fold order
+// exactly (partials arrive span-sorted, which is the static rank order).
+func pctBalancedStats(c *mpi.Comm, b *balance.Balancer, params PCTParams, geom [3]int) (pctBcastMsg, error) {
+	lines, samples, bands := geom[0], geom[1], geom[2]
+	var tasks []partition.Span
+	if c.Root() {
+		tasks = b.Static()
+	}
+
+	// Steps 2 and 4 share a pass: local unique set plus finite mean sums.
+	statWork := func(view *cube.Cube, owned, halo partition.Span) (any, int) {
+		reps, calls := uniqueScan(view, params.Theta, params.MaxReps)
+		c.Compute(float64(calls)*spectral.FlopsSAD(bands), vtime.Par)
+		reps, calls = pruneReps(reps, params.minPopulationCount(view.NumPixels()))
+		c.ComputeFixed(float64(calls)*spectral.FlopsSAD(bands), vtime.Par)
+		reps, calls = mergeReps(reps, params.Classes)
+		c.ComputeFixed(float64(calls)*spectral.FlopsSAD(bands), vtime.Par)
+		sum, count := finiteMeanSums(view)
+		c.Compute(float64(view.NumPixels())*float64(bands), vtime.Par)
+		return pctStatPartial{reps: reps, sum: sum, count: count},
+			repsBytes(reps, bands) + 8*bands + 8
+	}
+	fplStat := float64(samples) * (float64(params.MaxReps)*spectral.FlopsSAD(bands) + float64(bands))
+	partials := balance.RunPhase(c, b, balance.Phase{Lines: lines, FlopsPerLine: fplStat, Tasks: tasks}, statWork)
+
+	var reps []rep
+	var mean []float64
+	total := 0
+	if c.Root() {
+		mean = make([]float64, bands)
+		for _, p := range partials {
+			sp := p.Payload.(pctStatPartial)
+			if len(sp.reps) > 0 {
+				var calls int
+				reps, calls = mergeReps(append(reps, sp.reps...), params.Classes)
+				c.ComputeFixed(float64(calls)*spectral.FlopsSAD(bands), vtime.Seq)
+			}
+			for i := range mean {
+				mean[i] += sp.sum[i]
+			}
+			total += sp.count
+		}
+		if total == 0 {
+			return pctBcastMsg{}, fmt.Errorf("algo: no finite pixels in scene")
+		}
+		for i := range mean {
+			mean[i] /= float64(total)
+		}
+		c.ComputeFixed(float64(len(partials))*float64(bands), vtime.Seq)
+	}
+	mean = c.Bcast(0, tagBroadcast, mean, 8*bands).([]float64)
+
+	// Steps 5-6: covariance partials at the static spans.
+	covWork := func(view *cube.Cube, owned, halo partition.Span) (any, int) {
+		localCov := linalg.NewMat(bands, bands)
+		flops := covarianceUpper(view, mean, localCov)
+		c.Compute(flops, vtime.Par)
+		return localCov, 8 * bands * bands
+	}
+	fplCov := float64(samples) * (float64(bands) + float64(bands)*float64(bands+1))
+	covPartials := balance.RunPhase(c, b, balance.Phase{Lines: lines, FlopsPerLine: fplCov, Tasks: tasks}, covWork)
+
+	var msg pctBcastMsg
+	if c.Root() {
+		cov := linalg.NewMat(bands, bands)
+		for _, p := range covPartials {
+			partial := p.Payload.(*linalg.Mat)
+			for i := range cov.Data {
+				cov.Data[i] += partial.Data[i]
+			}
+		}
+		mirrorLower(cov)
+		for i := range cov.Data {
+			cov.Data[i] /= float64(total)
+		}
+		c.ComputeFixed(float64(len(covPartials))*float64(bands)*float64(bands), vtime.Seq)
+
+		// Step 7: eigendecomposition, sequential at the master.
+		t, err := pctTransformMatrix(cov, min(params.Classes, len(reps)))
+		if err != nil {
+			return pctBcastMsg{}, err
+		}
+		c.ComputeFixed(linalg.FlopsSymEigen(params.eigenBands(bands)), vtime.Seq)
+		reduced := make([][]float64, len(reps))
+		buf := make([]float64, t.Rows)
+		for i, r := range reps {
+			pctProject(t, mean, r.sig, buf)
+			reduced[i] = append([]float64(nil), buf...)
+		}
+		c.ComputeFixed(float64(len(reps))*linalg.FlopsMulVec(t.Rows, bands), vtime.Seq)
+		msg = pctBcastMsg{t: t, mean: mean, reduced: reduced, classes: repsToClasses(reps)}
+	}
+	return msg, nil
+}
+
+// morphChunk is the per-task payload of MORPH's balanced AMEE phase.
+type morphChunk struct {
+	cands []candidate
+	err   error
+}
+
+// morphBalanced is MorphParallel with demand-driven chunk scheduling.
+// The AMEE phase runs as fixed tasks at the static spans (candidate
+// selection depends on the partition shape and its halo), the final
+// labeling as guided chunks.
+func morphBalanced(c *mpi.Comm, f *cube.Cube, params MorphParams) (*ClassificationResult, error) {
+	b := params.Balance
+	if c.Root() {
+		if err := params.validate(f); err != nil {
+			return nil, err
+		}
+	}
+	geom := balancedGeom(c, f)
+	lines, samples, bands := geom[0], geom[1], geom[2]
+
+	var endmembers [][]float32
+	resumed := 0
+	if c.Root() {
+		if em, ok := restoreEndmembers(c, params.Checkpoint, bands); ok {
+			endmembers, resumed = em, 1
+		}
+	}
+	if params.Checkpoint != nil {
+		resumed = syncResume(c, resumed)
+	}
+	if resumed == 0 {
+		var err error
+		endmembers, err = morphBalancedCompute(c, b, params, geom)
+		if err != nil {
+			return nil, err
+		}
+		if c.Root() {
+			if err := saveEndmembers(c, params.Checkpoint, endmembers); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var emBytes int
+	if c.Root() {
+		emBytes = len(endmembers) * 4 * bands
+	}
+	endmembers = c.Bcast(0, tagBroadcast, endmembers, emBytes).([][]float32)
+
+	// Step 4-5 as one guided phase: label each chunk by SAD.
+	work := func(view *cube.Cube, owned, halo partition.Span) (any, int) {
+		labels, flops := labelBySAD(view, endmembers)
+		c.Compute(flops, vtime.Par)
+		return labels, int(8 * float64(len(labels)) * c.DataScale())
+	}
+	fpl := float64(samples) * float64(len(endmembers)) * spectral.FlopsSAD(bands)
+	partials := balance.RunPhase(c, b, balance.Phase{Lines: lines, FlopsPerLine: fpl}, work)
+	if !c.Root() {
+		return nil, nil
+	}
+	return &ClassificationResult{Labels: assembleLabels(c, partials, lines, samples), Classes: endmembers}, nil
+}
+
+// morphBalancedCompute runs steps 2-3 demand-driven over the static
+// spans with the morphological halo, mirroring morphComputePhase per
+// span; the master fuses candidates in span order (the static rank
+// order).
+func morphBalancedCompute(c *mpi.Comm, b *balance.Balancer, params MorphParams, geom [3]int) ([][]float32, error) {
+	lines, samples, bands := geom[0], geom[1], geom[2]
+	se := morph.Square(params.Radius)
+	var tasks []partition.Span
+	if c.Root() {
+		tasks = b.Static()
+	}
+
+	work := func(view *cube.Cube, owned, halo partition.Span) (any, int) {
+		loLocal := owned.Lo - halo.Lo
+		hiLocal := loLocal + owned.Len()
+		var res *morph.MEIResult
+		if params.MinimalHalo {
+			res = morph.MEI(view, se, params.Iterations)
+		} else {
+			res = morph.MEIRange(view, se, params.Iterations, loLocal, hiLocal)
+		}
+		c.Compute(res.Flops, vtime.Par)
+		cands, calls := selectCandidates(res.Final, res.Scores, loLocal, hiLocal, 6*params.Classes, params.Theta)
+		c.ComputeFixed(float64(calls)*spectral.FlopsSAD(bands), vtime.Par)
+		own, err := view.Rows(loLocal, hiLocal)
+		if err != nil {
+			return morphChunk{err: err}, 0
+		}
+		var supportCalls int
+		cands, supportCalls = filterBySupport(cands, own,
+			params.supportRadius(), params.minSupportCount(own.NumPixels()), 3*params.Classes)
+		c.Compute(float64(supportCalls)*spectral.FlopsSAD(bands), vtime.Par)
+		for i := range cands {
+			cands[i].line += halo.Lo
+		}
+		return morphChunk{cands: cands}, len(cands) * candidateBytes(bands)
+	}
+	window := float64((2*params.Radius + 1) * (2*params.Radius + 1))
+	fpl := float64(samples) * float64(params.Iterations) * window * spectral.FlopsSAD(bands)
+	phase := balance.Phase{Lines: lines, Halo: params.Halo(), FlopsPerLine: fpl, Tasks: tasks}
+	partials := balance.RunPhase(c, b, phase, work)
+	if !c.Root() {
+		return nil, nil
+	}
+
+	var flat []candidate
+	for _, p := range partials {
+		mc := p.Payload.(morphChunk)
+		if mc.err != nil {
+			return nil, mc.err
+		}
+		flat = append(flat, mc.cands...)
+	}
+	endmembers, calls := fuseCandidates(flat, params.Classes, params.fuseTheta())
+	c.ComputeFixed(float64(calls)*spectral.FlopsSAD(bands), vtime.Seq)
+	if len(endmembers) == 0 {
+		return nil, fmt.Errorf("algo: no endmembers found")
+	}
+	return endmembers, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/balance"
 	"repro/internal/checkpoint"
 	"repro/internal/cube"
 	"repro/internal/morph"
@@ -57,6 +58,10 @@ type MorphParams struct {
 	// iterations entirely. Nil disables checkpointing with zero protocol
 	// or virtual-time change.
 	Checkpoint checkpoint.Checkpointer
+	// Balance, when non-nil, replaces the static scatter with the
+	// demand-driven chunk protocol of package balance. Nil keeps the
+	// static schedule with zero protocol or virtual-time change.
+	Balance *balance.Balancer
 }
 
 // minSupportCount converts the support floor into a pixel count.
@@ -291,6 +296,9 @@ func MorphSequential(f *cube.Cube, params MorphParams) (*ClassificationResult, e
 // version). It must run inside an mpi program; f is required at the root.
 // The result is returned at the root; other ranks return nil.
 func MorphParallel(c *mpi.Comm, f *cube.Cube, params MorphParams, strat partition.Strategy) (*ClassificationResult, error) {
+	if params.Balance != nil {
+		return morphBalanced(c, f, params)
+	}
 	if c.Root() {
 		if err := params.validate(f); err != nil {
 			return nil, err

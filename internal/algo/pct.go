@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/balance"
 	"repro/internal/checkpoint"
 	"repro/internal/cube"
 	"repro/internal/linalg"
@@ -57,6 +58,10 @@ type PCTParams struct {
 	// statistics phases entirely. Nil disables checkpointing with zero
 	// protocol or virtual-time change.
 	Checkpoint checkpoint.Checkpointer
+	// Balance, when non-nil, replaces the static scatter with the
+	// demand-driven chunk protocol of package balance. Nil keeps the
+	// static schedule with zero protocol or virtual-time change.
+	Balance *balance.Balancer
 }
 
 // eigenBands returns the band count used for the eigendecomposition
@@ -524,6 +529,9 @@ func (m pctBcastMsg) bytes() int {
 // version). It must run inside an mpi program; f is required at the root.
 // The result is returned at the root; other ranks return nil.
 func PCTParallel(c *mpi.Comm, f *cube.Cube, params PCTParams, strat partition.Strategy) (*ClassificationResult, error) {
+	if params.Balance != nil {
+		return pctBalanced(c, f, params)
+	}
 	if c.Root() {
 		if err := params.validate(f); err != nil {
 			return nil, err

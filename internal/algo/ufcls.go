@@ -101,6 +101,9 @@ func UFCLSSequential(f *cube.Cube, t int) (*DetectionResult, error) {
 // version). It must run inside an mpi program; f is required at the root.
 // The result is returned at the root; other ranks return nil.
 func UFCLSParallel(c *mpi.Comm, f *cube.Cube, params DetectionParams, strat partition.Strategy) (*DetectionResult, error) {
+	if params.Balance != nil {
+		return ufclsBalanced(c, f, params)
+	}
 	t := params.Targets
 	if c.Root() {
 		if err := validateTargets(f, t); err != nil {

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/balance"
+)
+
+type balanceKey struct{}
+
+// WithBalance returns a context carrying a demand-driven balance policy:
+// runs started under it (when the policy is enabled) schedule their
+// parallel phases through internal/balance instead of the static
+// partition plan. Like Metrics and the Checkpointer, the policy travels
+// on the context rather than in Params because Params is part of the
+// scheduler's result-cache key and must stay a pure value type.
+func WithBalance(ctx context.Context, pol balance.Policy) context.Context {
+	return context.WithValue(ctx, balanceKey{}, pol)
+}
+
+// BalanceFrom returns the balance policy carried by ctx; the zero
+// (disabled) policy when none is attached.
+func BalanceFrom(ctx context.Context) balance.Policy {
+	pol, _ := ctx.Value(balanceKey{}).(balance.Policy)
+	return pol
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/algo"
+	"repro/internal/balance"
 	"repro/internal/cube"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -203,6 +204,21 @@ type RunReport struct {
 	// IS part of WallTime (and of Seq): checkpointing is work the run
 	// chose to do.
 	CheckpointOverhead float64
+
+	// Balanced reports whether the run's parallel phases were scheduled
+	// demand-driven (WithBalance); the fields below are its accounting.
+	// All carry omitempty so unbalanced reports serialize exactly as
+	// before.
+	Balanced bool `json:",omitempty"`
+	// BalanceChunks counts the chunk grants of the successful attempt;
+	// StealEvents counts grants that reached outside the grantee's static
+	// WEA share and ReassignedLines the lines those grants moved.
+	BalanceChunks   int `json:",omitempty"`
+	StealEvents     int `json:",omitempty"`
+	ReassignedLines int `json:",omitempty"`
+	// EstimatorDrift is the mean relative error of the balancer's chunk
+	// time predictions over the successful attempt.
+	EstimatorDrift float64 `json:",omitempty"`
 }
 
 // Run executes one algorithm variant on the given network against the
@@ -245,6 +261,12 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 	if cck != nil {
 		detParams.Checkpoint = cck
 	}
+	// A fresh Balancer is built per attempt (degraded recovery shrinks the
+	// network); the program closure reads it at call time, after the
+	// attempt loop has set it and before world.Run starts the rank
+	// goroutines.
+	pol := BalanceFrom(ctx)
+	var bal *balance.Balancer
 	program := func(c *mpi.Comm) any {
 		var data *cube.Cube
 		if c.Root() {
@@ -252,25 +274,33 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 		}
 		switch alg {
 		case ATDCA:
-			r, err := algo.ATDCAParallel(c, data, detParams, strat)
+			dp := detParams
+			dp.Balance = bal
+			r, err := algo.ATDCAParallel(c, data, dp, strat)
 			if err != nil {
 				panic(err)
 			}
 			return r
 		case UFCLS:
-			r, err := algo.UFCLSParallel(c, data, detParams, strat)
+			dp := detParams
+			dp.Balance = bal
+			r, err := algo.UFCLSParallel(c, data, dp, strat)
 			if err != nil {
 				panic(err)
 			}
 			return r
 		case PCT:
-			r, err := algo.PCTParallel(c, data, params.PCT, strat)
+			pp := params.PCT
+			pp.Balance = bal
+			r, err := algo.PCTParallel(c, data, pp, strat)
 			if err != nil {
 				panic(err)
 			}
 			return r
 		case MORPH:
-			r, err := algo.MorphParallel(c, data, params.Morph, strat)
+			mp := params.Morph
+			mp.Balance = bal
+			r, err := algo.MorphParallel(c, data, mp, strat)
 			if err != nil {
 				panic(err)
 			}
@@ -312,6 +342,14 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 		if err := world.SetFaults(plan, attempt); err != nil {
 			tel.runFailed()
 			return nil, fmt.Errorf("core: %s/%s on %s: %w", alg, variant, net.Name, err)
+		}
+		if pol.Enabled {
+			spans, perr := strat.Partition(f.Lines, f.Samples, f.Bands, curNet.Procs)
+			if perr != nil {
+				tel.runFailed()
+				return nil, fmt.Errorf("core: %s/%s on %s: %w", alg, variant, net.Name, perr)
+			}
+			bal = balance.New(curNet, pol, spans, f)
 		}
 		var trace *mpi.Trace
 		if params.Trace {
@@ -378,6 +416,14 @@ func RunContext(ctx context.Context, net *platform.Network, alg Algorithm, varia
 		if trace != nil {
 			report.Timeline = trace.Timeline(curNet.Size(), 100)
 			report.TraceEvents = trace.Events()
+		}
+		if bal != nil {
+			st := bal.Stats()
+			report.Balanced = true
+			report.BalanceChunks = st.Chunks
+			report.StealEvents = st.StealEvents
+			report.ReassignedLines = st.ReassignedLines
+			report.EstimatorDrift = st.EstimatorDrift
 		}
 		if cck != nil {
 			report.CheckpointSaves = cck.saves

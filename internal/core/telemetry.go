@@ -25,6 +25,10 @@ type Metrics struct {
 	checkpointBytes *telemetry.Counter
 	lastDAll        *telemetry.Gauge
 	lastDMinus      *telemetry.Gauge
+	balancedRuns    *telemetry.Counter
+	stealEvents     *telemetry.Counter
+	reassignedLines *telemetry.Counter
+	lastDrift       *telemetry.Gauge
 
 	// Per-rank MPI activity, aggregated across runs. Rank cardinality is
 	// bounded by the largest simulated network, which the paper caps at
@@ -58,6 +62,14 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Load-imbalance ratio D_all of the most recent run."),
 		lastDMinus: reg.NewGauge("hyperhet_core_imbalance_d_minus",
 			"Load-imbalance ratio D_minus (root excluded) of the most recent run."),
+		balancedRuns: reg.NewCounter("hyperhet_core_balanced_runs_total",
+			"Runs whose parallel phases were scheduled demand-driven."),
+		stealEvents: reg.NewCounter("hyperhet_core_balance_steal_events_total",
+			"Chunk grants that reached outside the grantee's static WEA share."),
+		reassignedLines: reg.NewCounter("hyperhet_core_balance_reassigned_lines_total",
+			"Lines moved across static share boundaries by demand-driven grants."),
+		lastDrift: reg.NewGauge("hyperhet_core_balance_estimator_drift",
+			"Mean relative chunk-time prediction error of the most recent balanced run."),
 		mpiMsgs: reg.NewCounterVec("hyperhet_mpi_messages_total",
 			"Messages exchanged in successful runs, by kind and rank.", "kind", "rank"),
 		mpiBytes: reg.NewCounterVec("hyperhet_mpi_bytes_total",
@@ -105,6 +117,12 @@ func (m *Metrics) runDone(rep *RunReport) {
 	m.virtualSeconds.With("PAR").Add(rep.Par)
 	m.lastDAll.Set(rep.DAll)
 	m.lastDMinus.Set(rep.DMinus)
+	if rep.Balanced {
+		m.balancedRuns.Inc()
+		m.stealEvents.Add(float64(rep.StealEvents))
+		m.reassignedLines.Add(float64(rep.ReassignedLines))
+		m.lastDrift.Set(rep.EstimatorDrift)
+	}
 }
 
 // mpiRun folds one successful run's per-rank counters into the

@@ -213,6 +213,11 @@ type Comm struct {
 	clock *vtime.Clock
 	ctr   RankCounters
 
+	// stash holds messages pulled off mailboxes by PeekEarliest but not
+	// yet consumed by Recv, FIFO per source. Confined to the rank's
+	// goroutine like everything else on Comm.
+	stash map[int][]message
+
 	// crashAt is the virtual time at which an injected fault kills this
 	// rank; meaningful only when hasCrash is set.
 	crashAt  float64
@@ -286,6 +291,12 @@ func (c *Comm) chargeCompute(flops float64, cat vtime.Category) {
 // DataScale reports the world's pixel-data byte multiplier; algorithms
 // multiply the sizes of pixel-proportional transfers by it.
 func (c *Comm) DataScale() float64 { return c.world.dataScale }
+
+// ComputeScale reports the world's flop multiplier, the factor Compute
+// applies to every scene-proportional charge. Cost predictors (the
+// balance layer's estimator) need it to translate model flops into the
+// same scaled units the clock actually advances by.
+func (c *Comm) ComputeScale() float64 { return c.world.computeScale }
 
 // Checkpoint charges seconds of round-boundary snapshot I/O for a payload
 // of the given size — the master persisting its round state (package
@@ -361,6 +372,29 @@ func (c *Comm) Recv(src, tag int) any {
 	}
 	c.world.checkAborted()
 	c.checkFailed()
+	m := c.take(src)
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	start := c.clock.Now()
+	c.ctr.Recvs++
+	c.ctr.BytesRecv += int64(m.bytes)
+	c.clock.AdvanceTo(m.ready, vtime.Idle) // waiting for the peer to produce the data
+	wait := c.clock.Now() - start
+	c.clock.AdvanceTo(m.arrival, vtime.Com) // the transfer itself
+	c.checkFailed()
+	c.world.trace.add(Event{Rank: c.rank, Kind: EventRecv, Tag: m.tag, Peer: src, Bytes: m.bytes, Start: start, Dur: c.clock.Now() - start, Wait: wait, Cat: vtime.Com})
+	return m.payload
+}
+
+// take returns the next message from src: the stash head if PeekEarliest
+// buffered one, otherwise a blocking mailbox read with the usual
+// cancellation and cascade handling.
+func (c *Comm) take(src int) message {
+	if q := c.stash[src]; len(q) > 0 {
+		c.stash[src] = q[1:]
+		return q[0]
+	}
 	box := c.world.box(src, c.rank)
 	var m message
 	select {
@@ -375,18 +409,47 @@ func (c *Comm) Recv(src, tag int) any {
 			panic(cascadeAbort{})
 		}
 	}
-	if m.tag != tag {
-		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	return m
+}
+
+// PeekEarliest blocks (in host time) until every listed source has a
+// pending message, verifies their tags, and reports which one finishes
+// its virtual transfer first — ties broken by lower rank — without
+// consuming it or charging this rank's clock. The peeked messages stay
+// buffered for Recv.
+//
+// This is the deterministic replacement for a receive-any: the winner is
+// a pure function of the senders' virtual clocks, never of host
+// scheduling, because the choice is made only once every candidate is
+// physically present. A demand-driven master uses it to learn which
+// worker's report to consume next, and how long its own clock may keep
+// busy (ready) before that worker starts waiting.
+func (c *Comm) PeekEarliest(srcs []int, tag int) (src int, ready, arrival float64) {
+	if len(srcs) == 0 {
+		panic("mpi: PeekEarliest with no sources")
 	}
-	start := c.clock.Now()
-	c.ctr.Recvs++
-	c.ctr.BytesRecv += int64(m.bytes)
-	c.clock.AdvanceTo(m.ready, vtime.Idle) // waiting for the peer to produce the data
-	wait := c.clock.Now() - start
-	c.clock.AdvanceTo(m.arrival, vtime.Com) // the transfer itself
+	c.world.checkAborted()
 	c.checkFailed()
-	c.world.trace.add(Event{Rank: c.rank, Kind: EventRecv, Tag: m.tag, Peer: src, Bytes: m.bytes, Start: start, Dur: c.clock.Now() - start, Wait: wait, Cat: vtime.Com})
-	return m.payload
+	if c.stash == nil {
+		c.stash = make(map[int][]message)
+	}
+	src = -1
+	for _, s := range srcs {
+		if s < 0 || s >= c.Size() {
+			panic(fmt.Sprintf("mpi: peek from invalid rank %d (world size %d)", s, c.Size()))
+		}
+		if len(c.stash[s]) == 0 {
+			c.stash[s] = append(c.stash[s], c.take(s))
+		}
+		m := c.stash[s][0]
+		if m.tag != tag {
+			panic(fmt.Sprintf("mpi: rank %d peeked tag %d from %d, want %d", c.rank, m.tag, s, tag))
+		}
+		if src < 0 || m.arrival < arrival || (m.arrival == arrival && s < src) {
+			src, ready, arrival = s, m.ready, m.arrival
+		}
+	}
+	return src, ready, arrival
 }
 
 // RecvAs receives from src with the given tag and type-asserts the

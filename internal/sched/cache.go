@@ -89,10 +89,10 @@ func (spec *JobSpec) cacheKey() string {
 		digest = CubeDigest(spec.Cube)
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%s|%s|%+v|%+v|%.6f|%s",
+	fmt.Fprintf(h, "%s|%s|%s|%s|%+v|%+v|%.6f|%s|balance=%t",
 		digest, spec.Mode, spec.Algorithm, spec.Variant,
 		spec.Params, spec.Adaptive, spec.CycleTime,
-		networkFingerprint(spec.Network))
+		networkFingerprint(spec.Network), spec.Balance)
 	return fmt.Sprintf("%s-%016x", digest, h.Sum64())
 }
 

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/balance"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -160,6 +161,13 @@ type JobSpec struct {
 	// carry checkpoint overhead and resume state that depend on the
 	// store's history, not on the spec alone.
 	Checkpoint bool
+	// Balance schedules the job's parallel phases demand-driven: the
+	// master grants line-range chunks on request and re-sizes them from
+	// an online per-rank throughput estimate (see internal/balance). The
+	// detected/classified outputs are identical to the static schedule;
+	// only the virtual timings and the report's balance accounting
+	// change, so balanced and unbalanced results use distinct cache keys.
+	Balance bool
 	// NoJournal suppresses this job's journal records even when the
 	// scheduler has one. Pipeline stage jobs set it: their durability is
 	// owned by the flow engine's pipeline records, and journaling the
@@ -1131,8 +1139,9 @@ func (s *Scheduler) runJob(j *Job) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.startedAt = started
+	submitted := j.submittedAt // SubmitResumed rewrites it after enqueue
 	j.mu.Unlock()
-	s.cfg.Guard.ObserveDispatch(guard.Class(j.spec.Priority), started.Sub(j.submittedAt), j.queuedAhead)
+	s.cfg.Guard.ObserveDispatch(guard.Class(j.spec.Priority), started.Sub(submitted), j.queuedAhead)
 	s.mu.Lock()
 	s.running++
 	hook := s.testHookRunning
@@ -1295,6 +1304,9 @@ func (s *Scheduler) execute(ctx context.Context, j *Job, attempt int) (cachedRes
 	ctx = core.WithMetrics(ctx, s.tel.coreMetrics())
 	if j.ckpt != nil {
 		ctx = core.WithCheckpointer(ctx, j.ckpt)
+	}
+	if spec.Balance {
+		ctx = core.WithBalance(ctx, balance.DefaultPolicy())
 	}
 	switch spec.Mode {
 	case ModeAdaptive:

@@ -59,6 +59,12 @@ func reportDigest(rep *core.RunReport, payloadOnly bool) string {
 		r.CheckpointSaves = 0
 		r.CheckpointBytes = 0
 		r.CheckpointOverhead = 0
+		// Balance accounting counts chunks granted from the resume round
+		// onward, so it too depends on where a crash cut the run.
+		r.BalanceChunks = 0
+		r.StealEvents = 0
+		r.ReassignedLines = 0
+		r.EstimatorDrift = 0
 	}
 	b, err := json.Marshal(&r)
 	if err != nil {

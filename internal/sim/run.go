@@ -144,6 +144,7 @@ func jobSpec(p JobPlan, scenes *SceneCache) (sched.JobSpec, error) {
 		Label:          p.Label,
 		NoCache:        p.NoCache,
 		Checkpoint:     p.Checkpoint,
+		Balance:        p.Balance,
 		MaxAttempts:    p.MaxAttempts,
 		JournalPayload: labelPayload(p.Label),
 	}, nil

@@ -130,7 +130,12 @@ type JobPlan struct {
 	// Checkpoint opts into round-boundary snapshots (ModeRun only; the
 	// adaptive runner ignores checkpointers).
 	Checkpoint bool
-	NoCache    bool
+	// Balance schedules the job's parallel phases demand-driven (ModeRun
+	// only). Outputs stay identical to the static schedule, so every
+	// determinism invariant applies unchanged; only the timings and the
+	// report's balance accounting differ.
+	Balance bool
+	NoCache bool
 	// MaxAttempts is the scheduler retry budget (0 means 1).
 	MaxAttempts int
 	// Recovery enables degraded-mode recovery (ModeRun only).
@@ -365,6 +370,9 @@ func randJob(r *rng, label string) JobPlan {
 	}
 	if p.Mode == sched.ModeRun && r.chance(0.35) {
 		p.Checkpoint = true
+	}
+	if p.Mode == sched.ModeRun && r.chance(0.3) {
+		p.Balance = true
 	}
 
 	switch p.Mode {
@@ -637,6 +645,9 @@ func (s *Scenario) String() string {
 		}
 		if j.Checkpoint {
 			b.WriteString(" checkpoint")
+		}
+		if j.Balance {
+			b.WriteString(" balance")
 		}
 		if j.NoCache {
 			b.WriteString(" nocache")

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/scene"
 	"repro/internal/sched"
 )
@@ -234,6 +235,88 @@ func TestSeedsDrawOverload(t *testing.T) {
 		t.Fatal("no seed in 1..100 drew an overload plan")
 	}
 	t.Logf("%d/100 seeds drew overload plans", drawn)
+}
+
+// TestSeedsDrawBalance asserts the generator actually emits
+// balance-enabled jobs — and only on ModeRun plans, the one mode whose
+// runner consumes the policy.
+func TestSeedsDrawBalance(t *testing.T) {
+	drawn := 0
+	for seed := uint64(1); seed <= 100; seed++ {
+		for _, j := range FromSeed(seed).Jobs {
+			if !j.Balance {
+				continue
+			}
+			drawn++
+			if j.Mode != sched.ModeRun {
+				t.Errorf("seed %d: balanced job %s has mode %s", seed, j.Label, j.Mode)
+			}
+		}
+	}
+	if drawn == 0 {
+		t.Fatal("no seed in 1..100 drew a balance-enabled job")
+	}
+	t.Logf("%d balance-enabled jobs drawn across 100 seeds", drawn)
+}
+
+// balancedScenario is a handcrafted balance-heavy workload: every
+// algorithm scheduled demand-driven, one under a checkpoint, one with an
+// injected degradation, plus a duplicate to exercise the cache.
+func balancedScenario() *Scenario {
+	sc := scene.Config{Lines: 32, Samples: 16, Bands: 12, Seed: 1}
+	return &Scenario{
+		Seed:       0,
+		Workers:    2,
+		QueueDepth: 16,
+		Jobs: []JobPlan{
+			{Label: "j0", Scene: sc, Mode: sched.ModeRun, Algorithm: core.ATDCA,
+				Variant: core.Hetero, Network: "fully-het", Targets: 5, Balance: true},
+			{Label: "j1", Scene: sc, Mode: sched.ModeRun, Algorithm: core.UFCLS,
+				Variant: core.Homo, Network: "fully-homo", Targets: 5, Balance: true},
+			{Label: "j2", Scene: sc, Mode: sched.ModeRun, Algorithm: core.PCT,
+				Variant: core.Hetero, Network: "part-het", Targets: 4,
+				Balance: true, Checkpoint: true},
+			{Label: "j3", Scene: sc, Mode: sched.ModeRun, Algorithm: core.MORPH,
+				Variant: core.Hetero, Network: "part-homo", Targets: 4, Balance: true,
+				Faults: &fault.Plan{Degrades: []fault.Degrade{
+					{Rank: 2, From: 0, To: 1, Factor: 4},
+				}}},
+			{Label: "j4", Scene: sc, Mode: sched.ModeRun, Algorithm: core.ATDCA,
+				Variant: core.Hetero, Network: "fully-het", Targets: 5, Balance: true,
+				DuplicateOf: "j0"},
+		},
+	}
+}
+
+// TestBalancedScenario drives the handcrafted balance-heavy plan through
+// the checker, crash-free and across a mid-run crash/restart: balanced
+// runs must satisfy every determinism invariant the static schedule
+// does — replayed digests match the baseline byte for byte.
+func TestBalancedScenario(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		t.Parallel()
+		v, err := Check(balancedScenario(), CheckOptions{Dir: t.TempDir(), Scenes: sharedScenes})
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if !v.OK() {
+			t.Fatalf("balanced invariants failed:\n%s", v)
+		}
+	})
+	t.Run("crash", func(t *testing.T) {
+		t.Parallel()
+		scn := balancedScenario()
+		scn.Crashes = []CrashPoint{
+			{Kind: TrigCheckpoint, Job: "j2", Round: 1, Tear: TearTruncate, TearFrac: 0.7},
+		}
+		v, err := Check(scn, CheckOptions{Dir: t.TempDir(), Scenes: sharedScenes})
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if !v.OK() {
+			t.Fatalf("balanced invariants failed across a crash:\n%s", v)
+		}
+	})
 }
 
 // TestTornJournalSurvivesEveryTearOffset exhaustively tears one
